@@ -1,0 +1,43 @@
+// Command empserve hosts the EMP solver as a JSON-over-HTTP service.
+//
+// Usage:
+//
+//	empserve -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /datasets  list the named synthetic datasets
+//	POST /solve     run an EMP query; body:
+//	                {"named":"2k","scale":0.25,
+//	                 "constraints":"MIN(POP16UP) <= 3000; SUM(TOTALPOP) >= 20k",
+//	                 "options":{"seed":1,"local_search":"tabu"}}
+//	                or with an inline {"dataset":{...}} document in the
+//	                schema produced by empgen.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"emp/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("empserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

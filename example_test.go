@@ -1,0 +1,75 @@
+package emp_test
+
+import (
+	"fmt"
+	"log"
+
+	"emp"
+)
+
+// ExampleSolve runs the paper's default query (Table II) on a small
+// synthetic dataset.
+func ExampleSolve() {
+	ds, err := emp.GenerateDataset(emp.DatasetOptions{Name: "demo", Areas: 100, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := emp.ParseConstraints("SUM(TOTALPOP) >= 40000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := emp.Solve(ds, set, emp.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("regions:", sol.P)
+	fmt.Println("unassigned:", len(sol.UnassignedAreas()))
+	// Output:
+	// regions: 9
+	// unassigned: 0
+}
+
+// ExampleParseConstraints shows the constraint language.
+func ExampleParseConstraints() {
+	set, err := emp.ParseConstraints(`
+		MIN(POP16UP) <= 3k;
+		AVG(EMPLOYED) between 1500 and 3500;
+		COUNT(*) in [2, 40]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range set {
+		fmt.Println(c)
+	}
+	// Output:
+	// MIN(POP16UP) <= 3000
+	// AVG(EMPLOYED) in [1500, 3500]
+	// COUNT(*) in [2, 40]
+}
+
+// ExampleSolution_Feasibility shows the phase-1 report on an infeasible
+// query.
+func ExampleSolution_Feasibility() {
+	ds, err := emp.GenerateDataset(emp.DatasetOptions{Name: "demo", Areas: 50, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := emp.ConstraintSet{emp.AtLeast(emp.Count, "", 1000)}
+	sol, err := emp.Solve(ds, set, emp.Options{})
+	if err == nil {
+		log.Fatal("expected infeasibility")
+	}
+	fmt.Println("feasible:", sol.Feasibility().Feasible)
+	fmt.Println(sol.Feasibility().Reasons[0])
+	// Output:
+	// feasible: false
+	// constraint COUNT(*) >= 1000: only 50 areas exist, below the COUNT lower bound
+}
+
+// ExampleAtLeast builds constraints programmatically.
+func ExampleAtLeast() {
+	c := emp.AtLeast(emp.Sum, "TOTALPOP", 20000)
+	fmt.Println(c)
+	// Output:
+	// SUM(TOTALPOP) >= 20000
+}

@@ -1,0 +1,70 @@
+// Population growth study regions: the paper's second motivating example
+// (Section I) and the source of the default evaluation attributes
+// (Table II).
+//
+// Studying population change requires regions balanced on several factors
+// at once, with different aggregates per factor:
+//
+//   - every tract reasonably small:    MIN(POP16UP) <= 3000
+//   - employment level representative: AVG(EMPLOYED) in [1500, 3500]
+//   - statistically meaningful mass:   SUM(TOTALPOP) >= 20000
+//
+// The example also shows the feasibility report and what happens when a
+// constraint is tightened into infeasibility.
+//
+//	go run ./examples/populationgrowth
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"emp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := emp.NamedDataset("1k") // synthetic LA-City-sized dataset
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d tracts\n\n", ds.Name, ds.N())
+
+	set, err := emp.ParseConstraints(`
+		MIN(POP16UP) <= 3000;
+		AVG(EMPLOYED) in [1500, 3500];
+		SUM(TOTALPOP) >= 20000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sol, err := emp.Solve(ds, set, emp.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feas := sol.Feasibility()
+	fmt.Printf("feasibility: %d invalid tracts filtered, %d seed tracts (p <= %d)\n",
+		feas.InvalidCount, feas.SeedCount, feas.SeedCount)
+	st := sol.Stats()
+	fmt.Printf("solution: p = %d, |U0| = %d, H = %.4g (improved %.1f%%)\n",
+		sol.P, st.Unassigned, sol.Heterogeneity(), 100*sol.HeteroImprovement())
+	fmt.Printf("timing: construction %.2fs, local search %.2fs (%d moves)\n\n",
+		st.ConstructionSeconds, st.LocalSearchSeconds, st.TabuMoves)
+
+	// Tighten the AVG range until the query becomes infeasible to show
+	// the feasibility phase's early reporting.
+	badSet := emp.ConstraintSet{
+		emp.NewConstraint(emp.Avg, "EMPLOYED", 50000, 60000), // impossible average
+	}
+	bad, err := emp.Solve(ds, badSet, emp.Options{})
+	if errors.Is(err, emp.ErrInfeasible) {
+		fmt.Println("tightened query is infeasible, reported before any construction:")
+		for _, r := range bad.Feasibility().Reasons {
+			fmt.Println(" -", r)
+		}
+	} else if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: the smallest end-to-end EMP run.
+//
+// Generates a small synthetic census dataset, asks for the maximum number
+// of contiguous regions with at least 20k residents each, and prints the
+// solution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A dataset: 300 census-tract-like areas with polygon contiguity
+	// and census-style attribute columns.
+	ds, err := emp.GenerateDataset(emp.DatasetOptions{
+		Name:  "quickstart",
+		Areas: 300,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A query: one SUM constraint, exactly the classic max-p setting.
+	set, err := emp.ParseConstraints("SUM(TOTALPOP) >= 20000")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Solve with default FaCT settings.
+	sol, err := emp.Solve(ds, set, emp.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dataset: %d areas\n", ds.N())
+	fmt.Printf("regions: p = %d, unassigned = %d\n", sol.P, len(sol.UnassignedAreas()))
+	fmt.Printf("heterogeneity: %.4g (%.1f%% improved by local search)\n",
+		sol.Heterogeneity(), 100*sol.HeteroImprovement())
+
+	// 4. Inspect the first few regions.
+	for i, members := range sol.Regions() {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		var pop float64
+		col := ds.Column("TOTALPOP")
+		for _, a := range members {
+			pop += col[a]
+		}
+		fmt.Printf("  region %d: %d areas, TOTALPOP %.0f\n", i, len(members), pop)
+	}
+}

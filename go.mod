@@ -1,0 +1,3 @@
+module emp
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package anneal provides a simulated-annealing local search as an
+// alternative to the Tabu phase of FaCT. Regionalization literature uses
+// both families (e.g. Openshaw's AZP-SA); simulated annealing trades the
+// Tabu memory structure for a temperature schedule that accepts worsening
+// moves with probability exp(-Δ/T).
+//
+// Like the Tabu phase, the annealer only applies moves that keep every
+// region contiguous and feasible and never changes the number of regions p;
+// the partition ends at the best state visited.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+
+	"emp/internal/region"
+	"emp/internal/tabu"
+)
+
+// Config tunes the annealer.
+type Config struct {
+	// Objective is the optimization target; nil means heterogeneity.
+	Objective tabu.Objective
+	// InitialTemp is the starting temperature; 0 picks one automatically
+	// from the magnitude of early move deltas.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per step; 0 means 0.995.
+	Cooling float64
+	// Steps is the number of proposal steps; 0 means 20x the number of
+	// assigned areas.
+	Steps int
+	// Seed drives the proposal randomness.
+	Seed int64
+}
+
+// Stats reports what the annealer did.
+type Stats struct {
+	// Proposed and Accepted count move proposals and acceptances.
+	Proposed, Accepted int
+	// Improvements counts new-best events.
+	Improvements int
+	// BestScore is the objective value of the returned partition.
+	BestScore float64
+}
+
+type appliedMove struct {
+	area, from, to int
+}
+
+// Improve runs simulated annealing on the partition in place; on return the
+// partition is at the best state visited.
+func Improve(p *region.Partition, cfg Config) Stats {
+	obj := cfg.Objective
+	if obj == nil {
+		obj = tabu.Heterogeneity{}
+	}
+	cooling := cfg.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.995
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Candidate areas: every assigned area with an out-of-region neighbor
+	// (refreshed lazily from the moving frontier).
+	assigned := assignedAreas(p)
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = 20 * len(assigned)
+	}
+	if len(assigned) == 0 {
+		return Stats{BestScore: obj.Total(p)}
+	}
+
+	temp := cfg.InitialTemp
+	cur := obj.Total(p)
+	best := cur
+	var undo []appliedMove
+	stats := Stats{BestScore: best}
+
+	for step := 0; step < steps; step++ {
+		area := assigned[rng.Intn(len(assigned))]
+		to, ok := randomTarget(p, rng, area)
+		if !ok {
+			continue
+		}
+		stats.Proposed++
+		if !p.MoveValid(area, to) {
+			continue
+		}
+		delta := obj.DeltaMove(p, area, to)
+		if temp == 0 {
+			// Auto-calibrate: the first scored proposal sets T so a
+			// typical worsening move starts ~60% acceptable.
+			temp = math.Max(math.Abs(delta), 1) * 2
+		}
+		accept := delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+		temp *= cooling
+		if !accept {
+			continue
+		}
+		from := p.Assignment(area)
+		p.MoveArea(area, to)
+		stats.Accepted++
+		undo = append(undo, appliedMove{area: area, from: from, to: to})
+		cur += delta
+		if cur < best-1e-9 {
+			// Re-evaluate exactly on improvement to avoid drift.
+			cur = obj.Total(p)
+			if cur < best-1e-9 {
+				best = cur
+				stats.Improvements++
+				undo = undo[:0]
+			}
+		}
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		m := undo[i]
+		p.MoveArea(m.area, m.from)
+	}
+	stats.BestScore = obj.Total(p)
+	return stats
+}
+
+func assignedAreas(p *region.Partition) []int {
+	var out []int
+	ds := p.Dataset()
+	for a := 0; a < ds.N(); a++ {
+		if p.Assignment(a) != region.Unassigned {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// randomTarget picks a random neighboring region of the area.
+func randomTarget(p *region.Partition, rng *rand.Rand, area int) (int, bool) {
+	own := p.Assignment(area)
+	var targets []int
+	seen := map[int]bool{own: true}
+	for _, nb := range p.Graph().Neighbors(area) {
+		id := p.Assignment(nb)
+		if id != region.Unassigned && !seen[id] {
+			seen[id] = true
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		return 0, false
+	}
+	return targets[rng.Intn(len(targets))], true
+}

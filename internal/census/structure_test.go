@@ -1,0 +1,92 @@
+package census
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScaledPreservesDistributions: scaling a named dataset must keep the
+// attribute distributions, not just the sizes, so the experiment shapes
+// carry across scales.
+func TestScaledPreservesDistributions(t *testing.T) {
+	full, err := Named("1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Scaled("1k", 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{AttrEmployed, AttrPop16Up, AttrTotalPop} {
+		fs, _ := full.ColumnStats(attr)
+		ss, _ := small.ColumnStats(attr)
+		if ss.Mean < 0.7*fs.Mean || ss.Mean > 1.3*fs.Mean {
+			t.Errorf("%s: scaled mean %.0f vs full %.0f — distribution drifted", attr, ss.Mean, fs.Mean)
+		}
+	}
+}
+
+// TestAllAttributesPresent: every documented attribute exists on every
+// generated dataset.
+func TestAllAttributesPresent(t *testing.T) {
+	ds, err := Generate(Options{Name: "attrs", Areas: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{
+		AttrTotalPop, AttrPop16Up, AttrEmployed, AttrHouseholds,
+		AttrIncome, AttrTransit, AttrCalls, AttrWorkload,
+	} {
+		if ds.Column(attr) == nil {
+			t.Errorf("attribute %s missing", attr)
+		}
+	}
+	if len(ds.AttrNames) != 8 {
+		t.Errorf("attribute count = %d, want 8", len(ds.AttrNames))
+	}
+}
+
+// TestPhysicalConsistency: EMPLOYED <= POP16UP <= TOTALPOP per tract.
+func TestPhysicalConsistency(t *testing.T) {
+	ds, err := Generate(Options{Name: "phys", Areas: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := ds.Column(AttrTotalPop)
+	p16 := ds.Column(AttrPop16Up)
+	emp := ds.Column(AttrEmployed)
+	for i := 0; i < ds.N(); i++ {
+		if p16[i] > tp[i]+0.5 {
+			t.Fatalf("area %d: POP16UP %.0f > TOTALPOP %.0f", i, p16[i], tp[i])
+		}
+		if emp[i] > p16[i]+0.5 {
+			t.Fatalf("area %d: EMPLOYED %.0f > POP16UP %.0f", i, emp[i], p16[i])
+		}
+	}
+}
+
+// TestComponentGapsAreReal: multi-component layouts place blocks far enough
+// apart that no polygon edges are shared across components.
+func TestComponentGapsAreReal(t *testing.T) {
+	ds, err := Generate(Options{Name: "gap", Areas: 200, States: 4, Components: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, count := ds.Graph().Components()
+	if count != 2 {
+		t.Fatalf("components = %d", count)
+	}
+	// Bounding boxes of the two components must not overlap in x.
+	minX := [2]float64{math.Inf(1), math.Inf(1)}
+	maxX := [2]float64{math.Inf(-1), math.Inf(-1)}
+	for i, pg := range ds.Polygons {
+		b := pg.BBox()
+		c := comp[i]
+		minX[c] = math.Min(minX[c], b.MinX)
+		maxX[c] = math.Max(maxX[c], b.MaxX)
+	}
+	if !(maxX[0] < minX[1] || maxX[1] < minX[0]) {
+		t.Errorf("component x-ranges overlap: [%.1f,%.1f] vs [%.1f,%.1f]",
+			minX[0], maxX[0], minX[1], maxX[1])
+	}
+}

@@ -1,0 +1,79 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchEvaluator(b *testing.B, n int) *Evaluator {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = rng.Float64() * 5000
+	}
+	set := Set{
+		AtMost(Min, "A", 3000),
+		New(Avg, "A", 1500, 3500),
+		AtLeast(Sum, "A", 20000),
+		New(Count, "", 1, 1000),
+	}
+	ev, err := NewEvaluator(set, func(string) []float64 { return col })
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// BenchmarkTrackerAdd measures the O(m) incremental add used in every
+// construction and local-search inner loop.
+func BenchmarkTrackerAdd(b *testing.B) {
+	ev := benchEvaluator(b, 10000)
+	tr := ev.NewTracker()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(i % 10000)
+	}
+}
+
+// BenchmarkTrackerAddRemove measures a full add/remove cycle including the
+// amortized extreme recomputation.
+func BenchmarkTrackerAddRemove(b *testing.B) {
+	ev := benchEvaluator(b, 10000)
+	tr := ev.NewTracker()
+	members := make([]int, 0, 64)
+	for i := 0; i < 64; i++ {
+		tr.Add(i)
+		members = append(members, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := 64 + i%1000
+		tr.Add(a)
+		members = append(members, a)
+		last := members[len(members)-1]
+		members = members[:len(members)-1]
+		tr.Remove(last, members)
+	}
+}
+
+// BenchmarkSatisfiedAllAfterAdd measures the prospective-move check.
+func BenchmarkSatisfiedAllAfterAdd(b *testing.B) {
+	ev := benchEvaluator(b, 10000)
+	tr := ev.Compute([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.SatisfiedAllAfterAdd(i % 10000)
+	}
+}
+
+// BenchmarkParse measures constraint-language parsing.
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSet("MIN(POP16UP) <= 3000; AVG(EMPLOYED) in [1500,3500]; SUM(TOTALPOP) >= 20k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package constraint models EMP's enriched user-defined constraints.
+//
+// A constraint is a 4-tuple (f, s, l, u): an SQL-style aggregate function f
+// over a spatially extensive attribute s, bounded to the range [l, u] where
+// either side may be infinite (Definition III.1 of the paper). The package
+// also provides the per-region incremental aggregate Tracker that the
+// construction and local-search phases use to validate regions in O(1) per
+// constraint for additions and amortized O(region size) for removals.
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Aggregate is an SQL-inspired aggregate function.
+type Aggregate int
+
+const (
+	// Min is the extrema aggregate MIN.
+	Min Aggregate = iota
+	// Max is the extrema aggregate MAX.
+	Max
+	// Avg is the centrality aggregate AVG.
+	Avg
+	// Sum is the counting aggregate SUM.
+	Sum
+	// Count is the counting aggregate COUNT. It counts areas in a region;
+	// the attribute of a COUNT constraint is ignored.
+	Count
+)
+
+// Aggregates lists every supported aggregate in declaration order.
+var Aggregates = []Aggregate{Min, Max, Avg, Sum, Count}
+
+// String returns the SQL name of the aggregate.
+func (a Aggregate) String() string {
+	switch a {
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// Family groups aggregates as the paper does: extrema (MIN, MAX),
+// centrality (AVG) and counting (SUM, COUNT). Each construction step of
+// FaCT satisfies one family.
+type Family int
+
+const (
+	// Extrema covers MIN and MAX.
+	Extrema Family = iota
+	// Centrality covers AVG.
+	Centrality
+	// Counting covers SUM and COUNT.
+	Counting
+)
+
+// String returns the family name used in the paper.
+func (f Family) String() string {
+	switch f {
+	case Extrema:
+		return "extrema"
+	case Centrality:
+		return "centrality"
+	case Counting:
+		return "counting"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Family returns the constraint family of the aggregate.
+func (a Aggregate) Family() Family {
+	switch a {
+	case Min, Max:
+		return Extrema
+	case Avg:
+		return Centrality
+	default:
+		return Counting
+	}
+}
+
+// ParseAggregate converts an SQL aggregate name (case-insensitive) into an
+// Aggregate.
+func ParseAggregate(s string) (Aggregate, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "MIN":
+		return Min, nil
+	case "MAX":
+		return Max, nil
+	case "AVG", "MEAN", "AVERAGE":
+		return Avg, nil
+	case "SUM":
+		return Sum, nil
+	case "COUNT":
+		return Count, nil
+	default:
+		return 0, fmt.Errorf("constraint: unknown aggregate %q", s)
+	}
+}
+
+// Constraint is a user-defined constraint c = (f, s, l, u): the region-level
+// aggregate f of attribute s must lie in [Lower, Upper]. Lower may be -Inf
+// and Upper may be +Inf for one-sided constraints.
+type Constraint struct {
+	Agg   Aggregate
+	Attr  string
+	Lower float64
+	Upper float64
+}
+
+// New builds a two-sided constraint.
+func New(agg Aggregate, attr string, lower, upper float64) Constraint {
+	return Constraint{Agg: agg, Attr: attr, Lower: lower, Upper: upper}
+}
+
+// AtLeast builds the one-sided constraint f(s) >= l.
+func AtLeast(agg Aggregate, attr string, lower float64) Constraint {
+	return Constraint{Agg: agg, Attr: attr, Lower: lower, Upper: math.Inf(1)}
+}
+
+// AtMost builds the one-sided constraint f(s) <= u.
+func AtMost(agg Aggregate, attr string, upper float64) Constraint {
+	return Constraint{Agg: agg, Attr: attr, Lower: math.Inf(-1), Upper: upper}
+}
+
+// Validate checks the range is well formed: Lower <= Upper, Lower < +Inf,
+// Upper > -Inf, and neither bound NaN. COUNT constraints must have a
+// non-negative effective range.
+func (c Constraint) Validate() error {
+	if math.IsNaN(c.Lower) || math.IsNaN(c.Upper) {
+		return fmt.Errorf("constraint: %s has NaN bound", c)
+	}
+	if c.Lower > c.Upper {
+		return fmt.Errorf("constraint: %s has empty range [%g, %g]", c, c.Lower, c.Upper)
+	}
+	if math.IsInf(c.Lower, 1) {
+		return fmt.Errorf("constraint: %s lower bound cannot be +Inf", c)
+	}
+	if math.IsInf(c.Upper, -1) {
+		return fmt.Errorf("constraint: %s upper bound cannot be -Inf", c)
+	}
+	if c.Agg == Count && c.Upper < 1 {
+		return fmt.Errorf("constraint: %s upper bound below 1 forbids all regions", c)
+	}
+	return nil
+}
+
+// Contains reports whether the aggregate value v satisfies the range.
+func (c Constraint) Contains(v float64) bool {
+	return v >= c.Lower && v <= c.Upper
+}
+
+// Bounded reports whether both range ends are finite.
+func (c Constraint) Bounded() bool {
+	return !math.IsInf(c.Lower, -1) && !math.IsInf(c.Upper, 1)
+}
+
+// Unbounded reports whether neither range end is finite, i.e. the
+// constraint is trivially satisfied.
+func (c Constraint) Unbounded() bool {
+	return math.IsInf(c.Lower, -1) && math.IsInf(c.Upper, 1)
+}
+
+// String formats the constraint in the SQL-ish notation the parser accepts.
+func (c Constraint) String() string {
+	name := c.Agg.String() + "(" + c.Attr + ")"
+	if c.Agg == Count && c.Attr == "" {
+		name = "COUNT(*)"
+	}
+	switch {
+	case c.Unbounded():
+		return name + " in [-inf, inf]"
+	case math.IsInf(c.Upper, 1):
+		return fmt.Sprintf("%s >= %g", name, c.Lower)
+	case math.IsInf(c.Lower, -1):
+		return fmt.Sprintf("%s <= %g", name, c.Upper)
+	default:
+		return fmt.Sprintf("%s in [%g, %g]", name, c.Lower, c.Upper)
+	}
+}
+
+// InvalidArea reports whether an area with attribute value v can never be
+// part of any region satisfying c (feasibility phase filtering, Section V-A):
+// MIN: v < l (the region minimum would drop below l);
+// MAX: v > u (the region maximum would exceed u);
+// SUM: v > u (the region sum, with non-negative attributes, would exceed u).
+// AVG and COUNT never invalidate single areas at this stage.
+func (c Constraint) InvalidArea(v float64) bool {
+	switch c.Agg {
+	case Min:
+		return v < c.Lower
+	case Max:
+		return v > c.Upper
+	case Sum:
+		return v > c.Upper
+	default:
+		return false
+	}
+}
+
+// SeedArea reports whether an area with value v meets both bounds of an
+// extrema constraint and can therefore anchor a region for it (Step 1).
+// Non-extrema constraints do not define seeds and always return false.
+func (c Constraint) SeedArea(v float64) bool {
+	switch c.Agg {
+	case Min, Max:
+		return v >= c.Lower && v <= c.Upper
+	default:
+		return false
+	}
+}
+
+// Set is an ordered collection of constraints forming an EMP query.
+type Set []Constraint
+
+// Validate validates each constraint and rejects duplicate
+// (aggregate, attribute) pairs, which would be contradictory or redundant.
+func (s Set) Validate() error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		key := c.Agg.String() + "(" + c.Attr + ")"
+		if seen[key] {
+			return fmt.Errorf("constraint: duplicate constraint on %s", key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// ByFamily returns the constraints belonging to the given family, in order.
+func (s Set) ByFamily(f Family) Set {
+	var out Set
+	for _, c := range s {
+		if c.Agg.Family() == f {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByAggregate returns the constraints using the given aggregate, in order.
+func (s Set) ByAggregate(a Aggregate) Set {
+	var out Set
+	for _, c := range s {
+		if c.Agg == a {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasAggregate reports whether any constraint uses the aggregate.
+func (s Set) HasAggregate(a Aggregate) bool {
+	for _, c := range s {
+		if c.Agg == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Attrs returns the distinct attribute names referenced by the set, in
+// first-appearance order. COUNT(*) constraints contribute nothing.
+func (s Set) Attrs() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, c := range s {
+		if c.Attr == "" {
+			continue
+		}
+		if !seen[c.Attr] {
+			seen[c.Attr] = true
+			out = append(out, c.Attr)
+		}
+	}
+	return out
+}
+
+// String joins the constraint notations with "; ".
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "; ")
+}

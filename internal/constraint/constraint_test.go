@@ -1,0 +1,238 @@
+package constraint
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregateString(t *testing.T) {
+	tests := []struct {
+		agg  Aggregate
+		want string
+	}{
+		{Min, "MIN"}, {Max, "MAX"}, {Avg, "AVG"}, {Sum, "SUM"}, {Count, "COUNT"},
+		{Aggregate(42), "Aggregate(42)"},
+	}
+	for _, tc := range tests {
+		if got := tc.agg.String(); got != tc.want {
+			t.Errorf("String(%d) = %q, want %q", int(tc.agg), got, tc.want)
+		}
+	}
+}
+
+func TestAggregateFamily(t *testing.T) {
+	tests := []struct {
+		agg  Aggregate
+		want Family
+	}{
+		{Min, Extrema}, {Max, Extrema}, {Avg, Centrality}, {Sum, Counting}, {Count, Counting},
+	}
+	for _, tc := range tests {
+		if got := tc.agg.Family(); got != tc.want {
+			t.Errorf("%v.Family() = %v, want %v", tc.agg, got, tc.want)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Extrema.String() != "extrema" || Centrality.String() != "centrality" || Counting.String() != "counting" {
+		t.Error("family names wrong")
+	}
+	if !strings.HasPrefix(Family(9).String(), "Family(") {
+		t.Error("unknown family string")
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Aggregate
+		wantErr bool
+	}{
+		{"MIN", Min, false},
+		{"min", Min, false},
+		{" Max ", Max, false},
+		{"AVG", Avg, false},
+		{"mean", Avg, false},
+		{"average", Avg, false},
+		{"SUM", Sum, false},
+		{"count", Count, false},
+		{"median", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseAggregate(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseAggregate(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseAggregate(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestConstraintValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		c       Constraint
+		wantErr bool
+	}{
+		{"two-sided", New(Avg, "X", 1, 2), false},
+		{"at least", AtLeast(Sum, "X", 5), false},
+		{"at most", AtMost(Min, "X", 5), false},
+		{"unbounded", New(Sum, "X", math.Inf(-1), math.Inf(1)), false},
+		{"empty range", New(Avg, "X", 3, 2), true},
+		{"NaN lower", New(Avg, "X", math.NaN(), 2), true},
+		{"NaN upper", New(Avg, "X", 0, math.NaN()), true},
+		{"lower +inf", New(Avg, "X", math.Inf(1), math.Inf(1)), true},
+		{"upper -inf", New(Avg, "X", math.Inf(-1), math.Inf(-1)), true},
+		{"count upper < 1", AtMost(Count, "", 0.5), true},
+		{"count ok", New(Count, "", 1, 4), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestConstraintContainsBounded(t *testing.T) {
+	c := New(Avg, "X", 10, 20)
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{{9.99, false}, {10, true}, {15, true}, {20, true}, {20.01, false}} {
+		if got := c.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+	if !c.Bounded() || c.Unbounded() {
+		t.Error("bounded flags wrong")
+	}
+	open := AtLeast(Sum, "X", 5)
+	if open.Bounded() {
+		t.Error("one-sided constraint reported as bounded")
+	}
+	free := New(Sum, "X", math.Inf(-1), math.Inf(1))
+	if !free.Unbounded() {
+		t.Error("unbounded constraint not detected")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	tests := []struct {
+		c    Constraint
+		want string
+	}{
+		{AtLeast(Sum, "POP", 20000), "SUM(POP) >= 20000"},
+		{AtMost(Min, "POP", 3000), "MIN(POP) <= 3000"},
+		{New(Avg, "EMP", 1500, 3500), "AVG(EMP) in [1500, 3500]"},
+		{New(Count, "", 2, 4), "COUNT(*) in [2, 4]"},
+		{New(Sum, "X", math.Inf(-1), math.Inf(1)), "SUM(X) in [-inf, inf]"},
+	}
+	for _, tc := range tests {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestInvalidArea(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Constraint
+		v    float64
+		want bool
+	}{
+		{"min below lower", New(Min, "X", 10, 20), 5, true},
+		{"min inside", New(Min, "X", 10, 20), 15, false},
+		{"min above upper ok", New(Min, "X", 10, 20), 25, false},
+		{"max above upper", New(Max, "X", 10, 20), 25, true},
+		{"max inside", New(Max, "X", 10, 20), 15, false},
+		{"max below lower ok", New(Max, "X", 10, 20), 5, false},
+		{"sum above upper", New(Sum, "X", 10, 20), 25, true},
+		{"sum inside", New(Sum, "X", 10, 20), 15, false},
+		{"avg never invalid", New(Avg, "X", 10, 20), 1000, false},
+		{"count never invalid", New(Count, "", 1, 2), 1000, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.c.InvalidArea(tc.v); got != tc.want {
+				t.Errorf("InvalidArea(%v) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSeedArea(t *testing.T) {
+	min := New(Min, "X", 10, 20)
+	max := New(Max, "X", 10, 20)
+	sum := New(Sum, "X", 10, 20)
+	if !min.SeedArea(15) || min.SeedArea(25) || min.SeedArea(5) {
+		t.Error("MIN seed rule wrong")
+	}
+	if !max.SeedArea(10) || !max.SeedArea(20) || max.SeedArea(21) {
+		t.Error("MAX seed rule wrong")
+	}
+	if sum.SeedArea(15) {
+		t.Error("SUM must not define seeds")
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	good := Set{AtMost(Min, "A", 5), AtLeast(Sum, "A", 1), New(Avg, "B", 0, 9)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	dup := Set{AtMost(Min, "A", 5), AtLeast(Min, "A", 1)}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate (agg, attr) accepted")
+	}
+	bad := Set{New(Avg, "A", 5, 2)}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid member accepted")
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	s := Set{
+		AtMost(Min, "A", 5),
+		New(Avg, "B", 0, 9),
+		AtLeast(Sum, "C", 1),
+		New(Count, "", 1, 4),
+		New(Max, "A", 2, 3),
+	}
+	if got := s.ByFamily(Extrema); len(got) != 2 {
+		t.Errorf("extrema count = %d, want 2", len(got))
+	}
+	if got := s.ByFamily(Centrality); len(got) != 1 || got[0].Agg != Avg {
+		t.Errorf("centrality = %v", got)
+	}
+	if got := s.ByFamily(Counting); len(got) != 2 {
+		t.Errorf("counting count = %d, want 2", len(got))
+	}
+	if got := s.ByAggregate(Max); len(got) != 1 || got[0].Attr != "A" {
+		t.Errorf("ByAggregate(Max) = %v", got)
+	}
+	if !s.HasAggregate(Count) || s.HasAggregate(Aggregate(9)) {
+		t.Error("HasAggregate wrong")
+	}
+	attrs := s.Attrs()
+	want := []string{"A", "B", "C"}
+	if len(attrs) != len(want) {
+		t.Fatalf("Attrs = %v, want %v", attrs, want)
+	}
+	for i := range want {
+		if attrs[i] != want[i] {
+			t.Errorf("Attrs[%d] = %q, want %q", i, attrs[i], want[i])
+		}
+	}
+	if !strings.Contains(s.String(), "; ") {
+		t.Error("Set.String should join with semicolons")
+	}
+}

@@ -1,0 +1,61 @@
+package constraint
+
+import "testing"
+
+// FuzzParse checks that the constraint parser never panics and that every
+// successfully parsed constraint re-parses from its String() form to an
+// equivalent constraint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SUM(TOTALPOP) >= 20000",
+		"MIN(POP16UP) <= 3k",
+		"AVG(EMPLOYED) in [1500, 3500]",
+		"avg(X) between 1 and 2",
+		"1500 <= AVG(EMPLOYED) <= 3500",
+		"COUNT(*) <= 4",
+		"COUNT >= 2",
+		"MAX() > ",
+		"in [",
+		"<= <= <=",
+		"SUM(SUM(X)) >= 1",
+		"AVG(X) in [-inf, inf]",
+		"MIN(\x00) <= 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		c, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			// Parse may produce an inverted range like "5 <= AVG(X) <= 2";
+			// that is caught at Set level. Nothing more to check.
+			return
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("String() %q of parsed %q does not re-parse: %v", c.String(), expr, err)
+		}
+		if back.Agg != c.Agg || back.Attr != c.Attr {
+			t.Fatalf("round trip changed constraint: %v -> %v", c, back)
+		}
+	})
+}
+
+// FuzzParseSet checks multi-constraint parsing never panics.
+func FuzzParseSet(f *testing.F) {
+	f.Add("SUM(A) >= 1; AVG(B) in [1,2]")
+	f.Add(";;;\n\n;")
+	f.Add("MIN(A) <= 1; MIN(A) >= 0")
+	f.Fuzz(func(t *testing.T, exprs string) {
+		set, err := ParseSet(exprs)
+		if err != nil {
+			return
+		}
+		if verr := set.Validate(); verr != nil {
+			t.Fatalf("ParseSet returned invalid set %v: %v", set, verr)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package constraint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	inf := math.Inf(1)
+	tests := []struct {
+		in   string
+		want Constraint
+	}{
+		{"SUM(TOTALPOP) >= 20000", New(Sum, "TOTALPOP", 20000, inf)},
+		{"sum(TOTALPOP)>=20k", New(Sum, "TOTALPOP", 20000, inf)},
+		{"MIN(POP16UP) <= 3000", New(Min, "POP16UP", -inf, 3000)},
+		{"AVG(EMPLOYED) in [1500, 3500]", New(Avg, "EMPLOYED", 1500, 3500)},
+		{"AVG(EMPLOYED) in [1.5k,3.5K]", New(Avg, "EMPLOYED", 1500, 3500)},
+		{"avg(EMPLOYED) between 1500 and 3500", New(Avg, "EMPLOYED", 1500, 3500)},
+		{"AVG(EMPLOYED) BETWEEN 1500 AND 3500", New(Avg, "EMPLOYED", 1500, 3500)},
+		{"1500 <= AVG(EMPLOYED) <= 3500", New(Avg, "EMPLOYED", 1500, 3500)},
+		{"COUNT(*) <= 4", New(Count, "", -inf, 4)},
+		{"COUNT >= 2", New(Count, "", 2, inf)},
+		{"COUNT(TRACTS) <= 4", New(Count, "", -inf, 4)}, // attribute normalized away
+		{"MAX(INCOME) in [-inf, 9]", New(Max, "INCOME", -inf, 9)},
+		{"SUM(POP) in [2m, inf]", New(Sum, "POP", 2e6, inf)},
+		{"MIN( POP16UP ) <= 3k", New(Min, "POP16UP", -inf, 3000)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.in, func(t *testing.T) {
+			got, err := Parse(tc.in)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.in, err)
+			}
+			if got.Agg != tc.want.Agg || got.Attr != tc.want.Attr {
+				t.Errorf("Parse(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			if !eqBound(got.Lower, tc.want.Lower) || !eqBound(got.Upper, tc.want.Upper) {
+				t.Errorf("Parse(%q) bounds = [%v,%v], want [%v,%v]", tc.in, got.Lower, got.Upper, tc.want.Lower, tc.want.Upper)
+			}
+		})
+	}
+}
+
+func eqBound(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	if math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return true
+	}
+	return a == b
+}
+
+func TestParseInvalid(t *testing.T) {
+	tests := []string{
+		"",
+		"   ",
+		"MEDIAN(X) >= 5",
+		"SUM >= 5",           // non-count aggregate without attribute
+		"SUM() >= 5",         // empty attribute
+		"SUM(X) > 5",         // strict comparison not in the grammar
+		"SUM(X) >= ",         // missing number
+		"SUM(X) >= banana",   // bad number
+		"SUM(X",              // missing close paren
+		"AVG(X) in 1500",     // bad range syntax
+		"AVG(X) in [1500]",   // one bound
+		"AVG(X) in [1,2,3]",  // three bounds
+		"AVG(X) between 1 2", // missing and
+		"AVG(X) between x and 2",
+		"AVG(X) between 1 and y",
+		"1 <= AVG(X) junk <= 2",
+		"1 <= MEDIAN(X) <= 2",
+		"1 <= AVG(X) <= zz",
+		"AVG(X) ~ 5",
+	}
+	for _, in := range tests {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// String() of a parsed constraint must re-parse to the same constraint.
+	exprs := []string{
+		"SUM(TOTALPOP) >= 20000",
+		"MIN(POP16UP) <= 3000",
+		"AVG(EMPLOYED) in [1500, 3500]",
+		"COUNT(*) <= 4",
+	}
+	for _, in := range exprs {
+		c1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		c2, err := Parse(c1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", c1.String(), err)
+		}
+		if c1 != c2 {
+			t.Errorf("round trip %q -> %v -> %v", in, c1, c2)
+		}
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet("MIN(POP16UP) <= 3000; AVG(EMPLOYED) in [1500,3500]\nSUM(TOTALPOP) >= 20k;;")
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	if len(set) != 3 {
+		t.Fatalf("got %d constraints, want 3", len(set))
+	}
+	if set[0].Agg != Min || set[1].Agg != Avg || set[2].Agg != Sum {
+		t.Errorf("aggregate order wrong: %v", set)
+	}
+
+	if _, err := ParseSet("MIN(A) <= 3; MIN(A) >= 1"); err == nil {
+		t.Error("duplicate constraints accepted")
+	}
+	if _, err := ParseSet("BOGUS(A) <= 3"); err == nil {
+		t.Error("bad member accepted")
+	}
+	empty, err := ParseSet("  ;  \n ")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty input: set=%v err=%v", empty, err)
+	}
+}
+
+func TestParseNumberSuffixes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"5", 5}, {"5k", 5000}, {"5K", 5000}, {"2.5k", 2500},
+		{"1m", 1e6}, {"1M", 1e6}, {"-3k", -3000}, {" 7 ", 7},
+	}
+	for _, tc := range tests {
+		got, err := parseNumber(tc.in)
+		if err != nil {
+			t.Errorf("parseNumber(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseNumber(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, in := range []string{"", "k", "xk", "1.2.3"} {
+		if _, err := parseNumber(in); err == nil {
+			t.Errorf("parseNumber(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emp/internal/geom"
+)
+
+// grid3x2 builds a 3x2 lattice dataset with one attribute.
+func grid3x2(t *testing.T) *Dataset {
+	t.Helper()
+	polys := geom.Lattice(geom.LatticeOptions{Cols: 3, Rows: 2})
+	d := FromPolygons("grid", polys, geom.Rook)
+	if err := d.AddColumn("POP", []float64{10, 20, 30, 40, 50, 60}); err != nil {
+		t.Fatal(err)
+	}
+	d.Dissimilarity = "POP"
+	return d
+}
+
+func TestFromPolygonsAdjacency(t *testing.T) {
+	d := grid3x2(t)
+	if d.N() != 6 {
+		t.Fatalf("N = %d", d.N())
+	}
+	want := geom.GridNeighbors(3, 2, 0)
+	for i := range want {
+		if len(d.Adjacency[i]) != len(want[i]) {
+			t.Errorf("area %d adjacency = %v, want %v", i, d.Adjacency[i], want[i])
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if d.Components() != 1 {
+		t.Errorf("Components = %d, want 1", d.Components())
+	}
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	d := New("x", 3)
+	if err := d.AddColumn("A", []float64{1, 2}); err == nil {
+		t.Error("wrong-length column accepted")
+	}
+	if err := d.AddColumn("A", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddColumn("A", []float64{4, 5, 6}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if d.Column("A") == nil || d.Column("B") != nil {
+		t.Error("Column lookup wrong")
+	}
+}
+
+func TestDissimilarityColumn(t *testing.T) {
+	d := grid3x2(t)
+	col, err := d.DissimilarityColumn()
+	if err != nil || len(col) != 6 {
+		t.Errorf("DissimilarityColumn: %v len=%d", err, len(col))
+	}
+	d.Dissimilarity = ""
+	if _, err := d.DissimilarityColumn(); err == nil {
+		t.Error("unset dissimilarity accepted")
+	}
+	d.Dissimilarity = "MISSING"
+	if _, err := d.DissimilarityColumn(); err == nil {
+		t.Error("missing dissimilarity accepted")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	base := func() *Dataset { return grid3x2(t) }
+
+	d := base()
+	d.Adjacency[0] = []int{99}
+	if err := d.Validate(); err == nil {
+		t.Error("out-of-range adjacency accepted")
+	}
+
+	d = base()
+	d.Cols[0][2] = math.NaN()
+	if err := d.Validate(); err == nil {
+		t.Error("NaN attribute accepted")
+	}
+
+	d = base()
+	d.Cols[0] = d.Cols[0][:3]
+	if err := d.Validate(); err == nil {
+		t.Error("short column accepted")
+	}
+
+	d = base()
+	d.Polygons = d.Polygons[:2]
+	if err := d.Validate(); err == nil {
+		t.Error("polygon count mismatch accepted")
+	}
+
+	d = base()
+	d.Dissimilarity = "NOPE"
+	if err := d.Validate(); err == nil {
+		t.Error("bad dissimilarity accepted")
+	}
+
+	d = base()
+	d.AttrNames = append(d.AttrNames, "ghost")
+	if err := d.Validate(); err == nil {
+		t.Error("attr name/column mismatch accepted")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := grid3x2(t)
+	// Keep areas 0,1,4 (grid positions: (0,0),(1,0),(1,1)).
+	sub, err := d.Subset([]int{0, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 {
+		t.Fatalf("subset N = %d", sub.N())
+	}
+	// New ids: 0->0, 1->1, 4->2. Edges: 0-1 (was 0-1), 1-2 (was 1-4).
+	if len(sub.Adjacency[0]) != 1 || sub.Adjacency[0][0] != 1 {
+		t.Errorf("sub adjacency[0] = %v", sub.Adjacency[0])
+	}
+	if len(sub.Adjacency[1]) != 2 {
+		t.Errorf("sub adjacency[1] = %v", sub.Adjacency[1])
+	}
+	if got := sub.Column("POP"); got[2] != 50 {
+		t.Errorf("subset column remap wrong: %v", got)
+	}
+	if len(sub.Polygons) != 3 {
+		t.Errorf("subset polygons = %d", len(sub.Polygons))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("subset invalid: %v", err)
+	}
+
+	if _, err := d.Subset([]int{0, 0}); err == nil {
+		t.Error("duplicate subset id accepted")
+	}
+	if _, err := d.Subset([]int{-1}); err == nil {
+		t.Error("negative subset id accepted")
+	}
+	if _, err := d.Subset([]int{17}); err == nil {
+		t.Error("out-of-range subset id accepted")
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	d := grid3x2(t)
+	s, err := d.ColumnStats("POP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 6 || s.Min != 10 || s.Max != 60 || s.Sum != 210 || s.Mean != 35 {
+		t.Errorf("stats = %+v", s)
+	}
+	if _, err := d.ColumnStats("NOPE"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := grid3x2(t)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.N() != d.N() || got.Dissimilarity != d.Dissimilarity {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	for i := range d.AttrNames {
+		if got.AttrNames[i] != d.AttrNames[i] {
+			t.Errorf("attr order mismatch: %v vs %v", got.AttrNames, d.AttrNames)
+		}
+	}
+	for i := range d.Cols[0] {
+		if got.Cols[0][i] != d.Cols[0][i] {
+			t.Errorf("column value mismatch at %d", i)
+		}
+	}
+	if len(got.Polygons) != len(d.Polygons) {
+		t.Fatalf("polygons lost in round trip")
+	}
+	if got.Polygons[3].Area() != d.Polygons[3].Area() {
+		t.Error("polygon geometry changed")
+	}
+	for i := range d.Adjacency {
+		if len(got.Adjacency[i]) != len(d.Adjacency[i]) {
+			t.Errorf("adjacency mismatch at %d", i)
+		}
+	}
+}
+
+func TestJSONRoundTripNoPolygons(t *testing.T) {
+	d := New("bare", 2)
+	d.Adjacency[0] = []int{1}
+	d.Adjacency[1] = []int{0}
+	if err := d.AddColumn("X", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Polygons != nil {
+		t.Error("expected nil polygons")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		"{not json",
+		`{"name":"x","n":2,"adjacency":[[1]]}`, // n mismatch
+		`{"name":"x","n":1,"adjacency":[[]],"attributes":{},"attr_order":["A"]}`,          // missing column
+		`{"name":"x","n":1,"adjacency":[[]],"attributes":{"A":[1]},"polygons":[[1,2,3]]}`, // odd coords
+		`{"name":"x","n":2,"adjacency":[[1],[0]],"attributes":{"A":[1]}}`,                 // short column
+		`{"name":"x","n":2,"adjacency":[[1],[]],"attributes":{}}`,                         // asymmetric
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestSaveLoadJSONFile(t *testing.T) {
+	d := grid3x2(t)
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := d.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() {
+		t.Errorf("loaded N = %d", got.N())
+	}
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAttributesCSVRoundTrip(t *testing.T) {
+	d := grid3x2(t)
+	if err := d.AddColumn("EMP", []float64{1.5, 2.5, 3.5, 4.5, 5.5, 6.5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteAttributesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cols, names, err := ReadAttributesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "POP" || names[1] != "EMP" {
+		t.Errorf("names = %v", names)
+	}
+	if cols["EMP"][5] != 6.5 || cols["POP"][0] != 10 {
+		t.Errorf("cols = %v", cols)
+	}
+}
+
+func TestReadAttributesCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"notid,A\n0,1",
+		"id,A\n1,5",   // id not starting at 0
+		"id,A\n0,abc", // bad float
+	}
+	for _, in := range cases {
+		if _, _, err := ReadAttributesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadAttributesCSV(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMultiComponentDataset(t *testing.T) {
+	d := New("twoparts", 4)
+	d.Adjacency[0] = []int{1}
+	d.Adjacency[1] = []int{0}
+	d.Adjacency[2] = []int{3}
+	d.Adjacency[3] = []int{2}
+	if d.Components() != 2 {
+		t.Errorf("Components = %d, want 2", d.Components())
+	}
+}

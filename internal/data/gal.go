@@ -1,0 +1,175 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The GAL ("geographic algorithm library") format is the de-facto standard
+// text encoding for contiguity weights used by PySAL, GeoDa and friends:
+//
+//	<n>
+//	<id> <neighbor count>
+//	<neighbor ids...>
+//	...
+//
+// (Some dialects put "0 <n> <shapefile> <key>" on the header line; the
+// reader accepts both.) Supporting GAL lets users bring adjacency built by
+// other tools instead of deriving it from polygons.
+
+// WriteGAL encodes the dataset's adjacency in GAL format with 0-based ids.
+func (d *Dataset) WriteGAL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", d.N()); err != nil {
+		return err
+	}
+	for i, nbs := range d.Adjacency {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", i, len(nbs)); err != nil {
+			return err
+		}
+		parts := make([]string, len(nbs))
+		for j, nb := range nbs {
+			parts[j] = strconv.Itoa(nb)
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGAL parses a GAL contiguity file into adjacency lists. Ids may be
+// 0-based or 1-based; 1-based files (ids 1..n with no 0) are normalized to
+// 0-based automatically. The adjacency is validated for symmetry.
+func ReadGAL(r io.Reader) ([][]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	fields := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+
+	head, err := fields()
+	if err != nil {
+		return nil, fmt.Errorf("data: gal: missing header: %w", err)
+	}
+	// Header is either "<n>" or "0 <n> <shp> <key>".
+	var n int
+	switch len(head) {
+	case 1:
+		n, err = strconv.Atoi(head[0])
+	case 4:
+		n, err = strconv.Atoi(head[1])
+	default:
+		return nil, fmt.Errorf("data: gal: unrecognized header %v", head)
+	}
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("data: gal: bad area count in header %v", head)
+	}
+
+	raw := make(map[int][]int, n)
+	minID, maxID := 1<<62, -1
+	for rec := 0; rec < n; rec++ {
+		idLine, err := fields()
+		if err != nil {
+			return nil, fmt.Errorf("data: gal: record %d: %w", rec, err)
+		}
+		if len(idLine) != 2 {
+			return nil, fmt.Errorf("data: gal: record %d: want '<id> <count>', got %v", rec, idLine)
+		}
+		id, err1 := strconv.Atoi(idLine[0])
+		cnt, err2 := strconv.Atoi(idLine[1])
+		if err1 != nil || err2 != nil || cnt < 0 {
+			return nil, fmt.Errorf("data: gal: record %d: bad id/count %v", rec, idLine)
+		}
+		var nbs []int
+		for len(nbs) < cnt {
+			nbLine, err := fields()
+			if err != nil {
+				return nil, fmt.Errorf("data: gal: record %d neighbors: %w", rec, err)
+			}
+			for _, tok := range nbLine {
+				nb, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("data: gal: record %d: bad neighbor %q", rec, tok)
+				}
+				nbs = append(nbs, nb)
+			}
+		}
+		if len(nbs) != cnt {
+			return nil, fmt.Errorf("data: gal: record %d: %d neighbors listed, %d declared", rec, len(nbs), cnt)
+		}
+		if _, dup := raw[id]; dup {
+			return nil, fmt.Errorf("data: gal: duplicate id %d", id)
+		}
+		raw[id] = nbs
+		track := func(v int) {
+			if v < minID {
+				minID = v
+			}
+			if v > maxID {
+				maxID = v
+			}
+		}
+		track(id)
+		for _, nb := range nbs {
+			track(nb)
+		}
+	}
+	if len(raw) != n {
+		return nil, fmt.Errorf("data: gal: %d records for %d areas", len(raw), n)
+	}
+	if n == 0 {
+		return [][]int{}, nil
+	}
+	// Normalize 1-based ids.
+	offset := 0
+	if minID == 1 && maxID == n {
+		offset = 1
+	} else if minID != 0 || maxID >= n {
+		return nil, fmt.Errorf("data: gal: ids span [%d, %d], want 0-based [0, %d) or 1-based [1, %d]", minID, maxID, n, n)
+	}
+	adj := make([][]int, n)
+	for id, nbs := range raw {
+		out := make([]int, 0, len(nbs))
+		for _, nb := range nbs {
+			out = append(out, nb-offset)
+		}
+		sort.Ints(out)
+		adj[id-offset] = out
+	}
+	// Validate symmetry.
+	for i, nbs := range adj {
+		for _, j := range nbs {
+			if !contains(adj[j], i) {
+				return nil, fmt.Errorf("data: gal: asymmetric edge %d->%d", i, j)
+			}
+			if j == i {
+				return nil, fmt.Errorf("data: gal: self-neighbor at %d", i)
+			}
+		}
+	}
+	return adj, nil
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

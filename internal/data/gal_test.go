@@ -1,0 +1,122 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGALRoundTrip(t *testing.T) {
+	d := grid3x2(t)
+	var buf bytes.Buffer
+	if err := d.WriteGAL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	adj, err := ReadGAL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adj) != d.N() {
+		t.Fatalf("len = %d", len(adj))
+	}
+	for i := range adj {
+		if len(adj[i]) != len(d.Adjacency[i]) {
+			t.Errorf("area %d: %v vs %v", i, adj[i], d.Adjacency[i])
+			continue
+		}
+		for j := range adj[i] {
+			if adj[i][j] != d.Adjacency[i][j] {
+				t.Errorf("area %d neighbor %d: %d vs %d", i, j, adj[i][j], d.Adjacency[i][j])
+			}
+		}
+	}
+}
+
+func TestReadGALOneBased(t *testing.T) {
+	// GeoDa-style: 1-based ids, 4-field header.
+	in := `0 3 tracts.shp POLY_ID
+1 1
+2
+2 2
+1 3
+3 1
+2
+`
+	adj, err := ReadGAL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adj) != 3 {
+		t.Fatalf("len = %d", len(adj))
+	}
+	if len(adj[0]) != 1 || adj[0][0] != 1 {
+		t.Errorf("adj[0] = %v", adj[0])
+	}
+	if len(adj[1]) != 2 {
+		t.Errorf("adj[1] = %v", adj[1])
+	}
+}
+
+func TestReadGALNeighborsAcrossLines(t *testing.T) {
+	in := "2\n0 1\n1\n1 1\n0\n"
+	adj, err := ReadGAL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adj) != 2 || adj[0][0] != 1 || adj[1][0] != 0 {
+		t.Errorf("adj = %v", adj)
+	}
+}
+
+func TestReadGALEmpty(t *testing.T) {
+	adj, err := ReadGAL(strings.NewReader("0\n"))
+	if err != nil || len(adj) != 0 {
+		t.Errorf("empty GAL: %v %v", adj, err)
+	}
+}
+
+func TestReadGALErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "",
+		"bad header":       "x\n",
+		"weird header":     "1 2 3\n",
+		"negative count":   "1\n0 -1\n",
+		"missing record":   "2\n0 0\n",
+		"bad id":           "1\nx 0\n",
+		"bad neighbor":     "2\n0 1\nx\n1 0\n",
+		"duplicate id":     "2\n0 0\n0 0\n",
+		"asymmetric":       "2\n0 1\n1\n1 0\n",
+		"self neighbor":    "1\n0 1\n0\n",
+		"id out of range":  "2\n0 1\n5\n5 1\n0\n",
+		"too few declared": "2\n0 3\n1 1 1\n1 0\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadGAL(strings.NewReader(in)); err == nil {
+				t.Errorf("accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestGALIntoDatasetPipeline(t *testing.T) {
+	// Build adjacency from GAL and attach attributes — the workflow of a
+	// user bringing PySAL weights instead of polygons.
+	gal := "3\n0 1\n1\n1 2\n0 2\n2 1\n1\n"
+	adj, err := ReadGAL(strings.NewReader(gal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New("fromgal", 3)
+	d.Adjacency = adj
+	if err := d.AddColumn("POP", []float64{5, 10, 15}); err != nil {
+		t.Fatal(err)
+	}
+	d.Dissimilarity = "POP"
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Components() != 1 {
+		t.Errorf("components = %d", d.Components())
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/stats"
+)
+
+// avgCombos are the Section VII-B2 combinations: a varying AVG constraint
+// alone (A) and with the default MIN (MA), SUM (AS), and both (MAS).
+var avgComboNames = []string{"A", "MA", "AS", "MAS"}
+
+func avgCombo(name string, c constraint.Constraint) constraint.Set {
+	switch name {
+	case "A":
+		return constraint.Set{c}
+	case "MA":
+		return constraint.Set{defaultMin(), c}
+	case "AS":
+		return constraint.Set{c, defaultSum()}
+	case "MAS":
+		return constraint.Set{defaultMin(), c, defaultSum()}
+	default:
+		panic("unknown AVG combo " + name)
+	}
+}
+
+func avgRange(l, u float64) constraint.Constraint {
+	return constraint.New(constraint.Avg, census.AttrEmployed, l, u)
+}
+
+// Fig8Histogram reproduces Figure 8: the distribution of the AVG attribute
+// (EMPLOYED) on the default dataset.
+func Fig8Histogram(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "2k")
+	if err != nil {
+		return nil, err
+	}
+	col := ds.Column(census.AttrEmployed)
+	h := stats.NewHistogram(col, 12)
+	t := Table{
+		ID:     "fig8",
+		Title:  "Fig. 8: distribution of the AVG attribute (EMPLOYED)",
+		Header: []string{"bin", "count", "bar"},
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if max > 0 {
+			for j := 0; j < c*40/max; j++ {
+				bar += "#"
+			}
+		}
+		t.Rows = append(t.Rows, []string{h.BinLabel(i), fmt.Sprintf("%d", c), bar})
+	}
+	s := stats.Summarize(col)
+	t.Notes = []string{
+		fmt.Sprintf("n=%d mean=%.0f median=%.0f max=%.0f skewness=%.2f (paper: positively skewed, bulk < 4k, outliers up to 6149)",
+			s.Count, s.Mean, s.Median, s.Max, stats.Skewness(col)),
+	}
+	return []Table{t}, nil
+}
+
+// Fig9AvgMidpoints reproduces Figure 9: AVG-only queries with a fixed range
+// length of 2k and midpoints shifting from 1k to 4.5k — p, unassigned
+// areas (9a) and runtime (9b).
+func Fig9AvgMidpoints(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "2k")
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig9",
+		Title:  "Fig. 9: AVG with fixed length 2k, shifting midpoint",
+		Header: []string{"range", "p", "unassigned", "UA%", "construction", "tabu", "hetero_improve"},
+	}
+	for mid := 1000.0; mid <= 4500; mid += 500 {
+		c := avgRange(mid-1000, mid+1000)
+		r, err := run(cfg, ds, constraint.Set{c})
+		if err != nil {
+			return nil, err
+		}
+		if r.Infeasible {
+			t.Rows = append(t.Rows, []string{rangeLabel(c.Lower, c.Upper), "inf.", "-", "-", "-", "-", "-"})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			rangeLabel(c.Lower, c.Upper),
+			fmt.Sprintf("%d", r.P),
+			fmt.Sprintf("%d", r.Unassigned),
+			fmt.Sprintf("%.1f%%", 100*float64(r.Unassigned)/float64(ds.N())),
+			secs(r.ConstructionSec),
+			secs(r.TabuSec),
+			fmt.Sprintf("%.1f%%", r.HeteroImprovePct),
+		})
+	}
+	t.Notes = []string{fmt.Sprintf("dataset 2k at scale %g (%d areas); AVG on %s", cfg.Scale, ds.N(), census.AttrEmployed)}
+	return []Table{t}, nil
+}
+
+// avgLengthSweep runs the Figure 10/11 workload: midpoint fixed at 3k (the
+// hard case), half-lengths 0.5k-2k, across the four AVG combos.
+func avgLengthSweep(cfg Config) (p, ua, rt Table, err error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "2k")
+	if err != nil {
+		return p, ua, rt, err
+	}
+	halfLens := []float64{500, 1000, 1500, 2000}
+	hdr := []string{"combo"}
+	for _, h := range halfLens {
+		hdr = append(hdr, rangeLabel(3000-h, 3000+h))
+	}
+	p = Table{ID: "fig10a", Title: "Fig. 10a: p for AVG ranges centered at 3k", Header: hdr}
+	ua = Table{ID: "fig10b", Title: "Fig. 10b: unassigned areas (% of n)", Header: hdr}
+	rt = Table{ID: "fig11", Title: "Fig. 11: runtime (construction / tabu)", Header: hdr}
+	for _, combo := range avgComboNames {
+		pRow, uaRow, rtRow := []string{combo}, []string{combo}, []string{combo}
+		for _, h := range halfLens {
+			c := avgRange(3000-h, 3000+h)
+			r, err := run(cfg, ds, avgCombo(combo, c))
+			if err != nil {
+				return p, ua, rt, err
+			}
+			if r.Infeasible {
+				pRow = append(pRow, "inf.")
+				uaRow = append(uaRow, "-")
+				rtRow = append(rtRow, "-")
+				continue
+			}
+			pRow = append(pRow, fmt.Sprintf("%d", r.P))
+			uaRow = append(uaRow, fmt.Sprintf("%.1f%%", 100*float64(r.Unassigned)/float64(ds.N())))
+			rtRow = append(rtRow, fmt.Sprintf("%s/%s", secs(r.ConstructionSec), secs(r.TabuSec)))
+		}
+		p.Rows = append(p.Rows, pRow)
+		ua.Rows = append(ua.Rows, uaRow)
+		rt.Rows = append(rt.Rows, rtRow)
+	}
+	p.Notes = []string{fmt.Sprintf("dataset 2k at scale %g (%d areas)", cfg.Scale, ds.N())}
+	return p, ua, rt, nil
+}
+
+// Fig10AvgLengths reproduces Figure 10: p values and unassigned-area
+// percentages for AVG ranges of different lengths centered at 3k.
+func Fig10AvgLengths(cfg Config) ([]Table, error) {
+	p, ua, _, err := avgLengthSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{p, ua}, nil
+}
+
+// Fig11AvgRuntime reproduces Figure 11: runtime for the same sweep.
+func Fig11AvgRuntime(cfg Config) ([]Table, error) {
+	_, _, rt, err := avgLengthSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []Table{rt}, nil
+}

@@ -1,0 +1,242 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section VII) on the synthetic census substrate.
+//
+// Each experiment is a named runner producing one or more text Tables; the
+// cmd/empbench binary dispatches on the names and EXPERIMENTS.md records the
+// measured shapes against the paper's. Dataset sizes are scaled by
+// Config.Scale (default 0.25) so the full suite stays tractable on small
+// machines; pass Scale=1 for the paper's full sizes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/fact"
+	"emp/internal/maxp"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Scale shrinks the named datasets (0 < Scale <= 1; 0 means 0.25).
+	Scale float64
+	// Seed drives dataset synthesis and solver randomness.
+	Seed int64
+	// Iterations is the FaCT construction-iteration count (0 = 1).
+	Iterations int
+	// SkipTabu disables the local-search phase to isolate construction
+	// costs.
+	SkipTabu bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Config) ([]Table, error)
+
+// Registry maps experiment ids (table/figure numbers) to runners.
+var Registry = map[string]Runner{
+	"table1":   Table1Datasets,
+	"table3":   Table3MinCombos,
+	"table4":   Table4SumCombos,
+	"fig5":     Fig5MinUpperBound,
+	"fig6":     Fig6MinLowerBound,
+	"fig7":     Fig7MinBounded,
+	"fig8":     Fig8Histogram,
+	"fig9":     Fig9AvgMidpoints,
+	"fig10":    Fig10AvgLengths,
+	"fig11":    Fig11AvgRuntime,
+	"fig12":    Fig12SumVsMaxP,
+	"fig13":    Fig13SumBounded,
+	"fig14":    Fig14ScaleSmall,
+	"fig15":    Fig15ScaleLarge,
+	"fig16":    Fig16AvgHardScale,
+	"mip":      MIPBlowup,
+	"ablation": Ablations,
+}
+
+// Names returns the experiment ids in presentation order.
+func Names() []string {
+	return []string{
+		"table1", "table3", "table4",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "mip", "ablation",
+	}
+}
+
+// Default constraints (paper Table II).
+func defaultMin() constraint.Constraint {
+	return constraint.AtMost(constraint.Min, census.AttrPop16Up, 3000)
+}
+func defaultAvg() constraint.Constraint {
+	return constraint.New(constraint.Avg, census.AttrEmployed, 1500, 3500)
+}
+func defaultSum() constraint.Constraint {
+	return constraint.AtLeast(constraint.Sum, census.AttrTotalPop, 20000)
+}
+
+// dataset returns the named dataset at the configured scale.
+func dataset(cfg Config, name string) (*data.Dataset, error) {
+	if cfg.Scale >= 1 {
+		return census.NamedSeeded(name, cfg.Seed)
+	}
+	return census.Scaled(name, cfg.Scale, cfg.Seed)
+}
+
+// run measures one FaCT query.
+type runResult struct {
+	P, Unassigned            int
+	ConstructionSec, TabuSec float64
+	HeteroImprovePct         float64
+	Infeasible               bool
+}
+
+func run(cfg Config, ds *data.Dataset, set constraint.Set) (runResult, error) {
+	res, err := fact.Solve(ds, set, fact.Config{
+		Iterations:      cfg.Iterations,
+		Seed:            cfg.Seed,
+		SkipLocalSearch: cfg.SkipTabu,
+	})
+	if err != nil {
+		if res != nil && !res.Feasibility.Feasible {
+			return runResult{Infeasible: true}, nil
+		}
+		return runResult{}, err
+	}
+	return runResult{
+		P:                res.P,
+		Unassigned:       res.Unassigned,
+		ConstructionSec:  res.ConstructionTime.Seconds(),
+		TabuSec:          res.LocalSearchTime.Seconds(),
+		HeteroImprovePct: res.HeteroImprovement() * 100,
+	}, nil
+}
+
+func runMaxP(cfg Config, ds *data.Dataset, threshold float64) (runResult, error) {
+	res, err := maxp.Solve(ds, census.AttrTotalPop, threshold, maxp.Config{
+		Seed:            cfg.Seed,
+		SkipLocalSearch: cfg.SkipTabu,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	return runResult{
+		P:                res.P,
+		Unassigned:       res.Unassigned,
+		ConstructionSec:  res.ConstructionTime.Seconds(),
+		TabuSec:          res.LocalSearchTime.Seconds(),
+		HeteroImprovePct: res.HeteroImprovement() * 100,
+	}, nil
+}
+
+// rangeLabel formats a threshold range the way the paper's tables do.
+func rangeLabel(l, u float64) string {
+	f := func(v float64) string {
+		if v == math.Trunc(v) && math.Abs(v) >= 1000 && math.Mod(v, 100) == 0 {
+			return fmt.Sprintf("%gk", v/1000)
+		}
+		return fmt.Sprintf("%g", v)
+	}
+	switch {
+	case math.IsInf(l, -1) && math.IsInf(u, 1):
+		return "(-inf,inf)"
+	case math.IsInf(l, -1):
+		return fmt.Sprintf("(-inf,%s]", f(u))
+	case math.IsInf(u, 1):
+		return fmt.Sprintf("[%s,inf)", f(l))
+	default:
+		return fmt.Sprintf("[%s,%s]", f(l), f(u))
+	}
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.3fs", v) }
+
+// Table1Datasets regenerates Table I: the dataset inventory, with synthesis
+// time and component counts.
+func Table1Datasets(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:     "table1",
+		Title:  "Evaluation datasets (synthetic census substrate)",
+		Header: []string{"name", "areas(paper)", "areas(run)", "states", "components", "gen_time"},
+	}
+	for _, name := range census.SizeNames() {
+		sz := census.Sizes[name]
+		start := time.Now()
+		ds, err := dataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", sz.Areas),
+			fmt.Sprintf("%d", ds.N()),
+			fmt.Sprintf("%d", sz.States),
+			fmt.Sprintf("%d", ds.Components()),
+			time.Since(start).Truncate(time.Millisecond).String(),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("scale=%g; paper sizes reproduced exactly at scale=1", cfg.Scale))
+	return []Table{t}, nil
+}

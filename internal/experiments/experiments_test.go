@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment smoke tests fast.
+func tinyCfg() Config {
+	return Config{Scale: 0.04, Seed: 1, SkipTabu: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Errorf("Names() has %d ids, Registry %d", len(names), len(Registry))
+	}
+	for _, n := range names {
+		if Registry[n] == nil {
+			t.Errorf("experiment %q missing from registry", n)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "== x: demo ==") || !strings.Contains(out, "note: hello") {
+		t.Errorf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "333") {
+		t.Error("row missing")
+	}
+}
+
+func TestRangeLabel(t *testing.T) {
+	c := sumRange(20000, 30000)
+	if got := rangeLabel(c.Lower, c.Upper); got != "[20k,30k]" {
+		t.Errorf("label = %q", got)
+	}
+	o := sumRangesOpenUpper()[0]
+	if got := rangeLabel(o.Lower, o.Upper); got != "[1k,inf)" {
+		t.Errorf("label = %q", got)
+	}
+	m := minRangesUpperOnly()[0]
+	if got := rangeLabel(m.Lower, m.Upper); got != "(-inf,2k]" {
+		t.Errorf("label = %q", got)
+	}
+	if got := rangeLabel(250, 750); got != "[250,750]" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tabs, err := Table1Datasets(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 1 || len(tabs[0].Rows) != 9 {
+		t.Fatalf("table1 = %+v", tabs)
+	}
+}
+
+// TestMinSweepShape checks the Table III monotonicity facts the paper
+// reports: with l = -inf, p grows with u, and single-M always dominates the
+// multi-constraint combos.
+func TestMinSweepShape(t *testing.T) {
+	cfg := Config{Scale: 0.12, Seed: 1, SkipTabu: true}
+	tabs, err := minSweep(cfg, "t", "t", minRangesUpperOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTab := tabs[0]
+	parse := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-numeric p %q", s)
+		}
+		return v
+	}
+	// Row 0 is M. p grows with u.
+	m := pTab.Rows[0]
+	if !(parse(m[1]) <= parse(m[2]) && parse(m[2]) <= parse(m[3])) {
+		t.Errorf("M row not monotone in u: %v", m)
+	}
+	// M >= MA >= MAS and M >= MS per column.
+	rows := map[string][]string{}
+	for _, r := range pTab.Rows {
+		rows[r[0]] = r
+	}
+	for col := 1; col <= 3; col++ {
+		pm := parse(rows["M"][col])
+		if parse(rows["MA"][col]) > pm || parse(rows["MS"][col]) > pm || parse(rows["MAS"][col]) > pm {
+			t.Errorf("column %d: M=%d not dominant: MA=%s MS=%s MAS=%s",
+				col, pm, rows["MA"][col], rows["MS"][col], rows["MAS"][col])
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	tabs, err := Fig8Histogram(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 12 {
+		t.Errorf("histogram bins = %d", len(tabs[0].Rows))
+	}
+	if !strings.Contains(tabs[0].Notes[0], "skewness") {
+		t.Error("missing summary note")
+	}
+}
+
+func TestFig9RunsAllMidpoints(t *testing.T) {
+	tabs, err := Fig9AvgMidpoints(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 8 {
+		t.Errorf("fig9 rows = %d, want 8 midpoints", len(tabs[0].Rows))
+	}
+}
+
+func TestSumSweepMPOnlyOpenRanges(t *testing.T) {
+	cfg := tinyCfg()
+	tabs, err := sumSweep(cfg, "t", "t", sumRangesBounded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpRow := tabs[0].Rows[0]
+	if mpRow[0] != "MP" {
+		t.Fatalf("first combo = %q", mpRow[0])
+	}
+	for _, cell := range mpRow[1:] {
+		if cell != "N/A" {
+			t.Errorf("MP on bounded range = %q, want N/A", cell)
+		}
+	}
+}
+
+func TestSumSweepDecreasingP(t *testing.T) {
+	cfg := Config{Scale: 0.12, Seed: 1, SkipTabu: true}
+	tabs, err := sumSweep(cfg, "t", "t", sumRangesOpenUpper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tabs[0].Rows {
+		prev := 1 << 30
+		for _, cell := range row[1:] {
+			v, err := strconv.Atoi(cell)
+			if err != nil {
+				continue
+			}
+			if v > prev {
+				t.Errorf("combo %s: p increased along growing lower bound: %v", row[0], row)
+				break
+			}
+			prev = v
+		}
+	}
+}
+
+func TestScaleSweeps(t *testing.T) {
+	tabs, err := Fig14ScaleSmall(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 || len(tabs[0].Rows) != 4 {
+		t.Fatalf("fig14 shape wrong: %d tables, %d rows", len(tabs), len(tabs[0].Rows))
+	}
+	tabs, err = Fig16AvgHardScale(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs[0].Rows) != 4 {
+		t.Errorf("fig16 rows = %d", len(tabs[0].Rows))
+	}
+}
+
+func TestMIPBlowup(t *testing.T) {
+	tabs, err := MIPBlowup(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("mip rows = %d", len(rows))
+	}
+	// Explored counts strictly increase with n.
+	prev := int64(-1)
+	for _, r := range rows {
+		v, err := strconv.ParseInt(r[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad explored %q", r[1])
+		}
+		if v <= prev {
+			t.Errorf("explored not increasing: %v", rows)
+		}
+		prev = v
+	}
+}
+
+// TestAllRunnersSmoke executes every registered experiment at a tiny scale;
+// none may error and each must yield at least one non-empty table. This
+// covers fig5/6/7/10/11/12/13/15/table3/table4 too.
+func TestAllRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow smoke test")
+	}
+	cfg := tinyCfg()
+	for _, name := range Names() {
+		tabs, err := Registry[name](cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tabs) == 0 {
+			t.Fatalf("%s produced no tables", name)
+		}
+		for _, tab := range tabs {
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s: table %q empty", name, tab.Title)
+			}
+			if tab.Render() == "" {
+				t.Errorf("%s: empty render", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"emp/internal/constraint"
+)
+
+func TestComboBuilders(t *testing.T) {
+	c := minRange(1000, 2000)
+	if got := minCombo("M", c); len(got) != 1 {
+		t.Errorf("M = %v", got)
+	}
+	if got := minCombo("MAS", c); len(got) != 3 {
+		t.Errorf("MAS = %v", got)
+	}
+	a := avgRange(2000, 4000)
+	if got := avgCombo("A", a); len(got) != 1 {
+		t.Errorf("A = %v", got)
+	}
+	if got := avgCombo("MAS", a); len(got) != 3 {
+		t.Errorf("avg MAS = %v", got)
+	}
+	s := sumRange(1000, math.Inf(1))
+	if got := sumCombo("S", s); len(got) != 1 {
+		t.Errorf("S = %v", got)
+	}
+	if got := sumCombo("MAS", s); len(got) != 3 {
+		t.Errorf("sum MAS = %v", got)
+	}
+	// Every combo set is valid.
+	for _, set := range []constraint.Set{
+		minCombo("MS", c), avgCombo("AS", a), sumCombo("AS", s),
+	} {
+		if err := set.Validate(); err != nil {
+			t.Errorf("combo invalid: %v", err)
+		}
+	}
+}
+
+func TestComboBuildersPanicOnUnknown(t *testing.T) {
+	for _, f := range []func(){
+		func() { minCombo("X", minRange(1, 2)) },
+		func() { avgCombo("X", avgRange(1, 2)) },
+		func() { sumCombo("X", sumRange(1, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on unknown combo")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSecsAndHeaders(t *testing.T) {
+	if secs(1.23456) != "1.235s" {
+		t.Errorf("secs = %q", secs(1.23456))
+	}
+	hdr := rangeHeaders(minRangesUpperOnly())
+	if len(hdr) != 3 || !strings.Contains(hdr[0], "2k") {
+		t.Errorf("headers = %v", hdr)
+	}
+}
+
+func TestDefaultConstraintsMatchTableII(t *testing.T) {
+	m, a, s := defaultMin(), defaultAvg(), defaultSum()
+	if m.Agg != constraint.Min || m.Upper != 3000 || !math.IsInf(m.Lower, -1) {
+		t.Errorf("default MIN = %v", m)
+	}
+	if a.Agg != constraint.Avg || a.Lower != 1500 || a.Upper != 3500 {
+		t.Errorf("default AVG = %v", a)
+	}
+	if s.Agg != constraint.Sum || s.Lower != 20000 || !math.IsInf(s.Upper, 1) {
+		t.Errorf("default SUM = %v", s)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 0.25 || cfg.Seed != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	cfg = Config{Scale: 0.5, Seed: 9}.withDefaults()
+	if cfg.Scale != 0.5 || cfg.Seed != 9 {
+		t.Errorf("explicit config overwritten: %+v", cfg)
+	}
+}
+
+func TestDatasetScaleOne(t *testing.T) {
+	// Scale >= 1 must produce the exact paper sizes.
+	ds, err := dataset(Config{Scale: 1, Seed: 1}, "1k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 1012 {
+		t.Errorf("full 1k has %d areas", ds.N())
+	}
+}

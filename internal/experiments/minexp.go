@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+)
+
+// minCombos are the constraint combinations of Section VII-B1: a varying
+// MIN constraint alone (M) and combined with the default SUM (MS), AVG
+// (MA), and both (MAS).
+var minComboNames = []string{"M", "MS", "MA", "MAS"}
+
+func minCombo(name string, c constraint.Constraint) constraint.Set {
+	switch name {
+	case "M":
+		return constraint.Set{c}
+	case "MS":
+		return constraint.Set{c, defaultSum()}
+	case "MA":
+		return constraint.Set{c, defaultAvg()}
+	case "MAS":
+		return constraint.Set{c, defaultAvg(), defaultSum()}
+	default:
+		panic("unknown MIN combo " + name)
+	}
+}
+
+// minRange builds the varying MIN constraint on POP16UP.
+func minRange(l, u float64) constraint.Constraint {
+	return constraint.New(constraint.Min, census.AttrPop16Up, l, u)
+}
+
+// The three range families of Table III.
+func minRangesUpperOnly() []constraint.Constraint {
+	inf := math.Inf(1)
+	return []constraint.Constraint{
+		minRange(-inf, 2000), minRange(-inf, 3500), minRange(-inf, 5000),
+	}
+}
+
+func minRangesLowerOnly() []constraint.Constraint {
+	inf := math.Inf(1)
+	return []constraint.Constraint{
+		minRange(2000, inf), minRange(3500, inf), minRange(5000, inf),
+	}
+}
+
+func minRangesBoundedLengths() []constraint.Constraint {
+	return []constraint.Constraint{
+		minRange(2500, 3500), minRange(2000, 4000), minRange(1500, 4500), minRange(1000, 5000),
+	}
+}
+
+func minRangesBoundedMidpoints() []constraint.Constraint {
+	return []constraint.Constraint{
+		minRange(1000, 2000), minRange(2000, 3000), minRange(3000, 4000), minRange(4000, 5000),
+	}
+}
+
+// minSweep runs every combo over the given MIN ranges on the default 2k
+// dataset and returns one p-value table and one runtime table.
+func minSweep(cfg Config, id, title string, ranges []constraint.Constraint) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "2k")
+	if err != nil {
+		return nil, err
+	}
+	pTab := Table{
+		ID:     id,
+		Title:  title + " — p values",
+		Header: append([]string{"combo"}, rangeHeaders(ranges)...),
+	}
+	tTab := Table{
+		ID:     id,
+		Title:  title + " — runtime (construction / tabu)",
+		Header: append([]string{"combo"}, rangeHeaders(ranges)...),
+	}
+	hTab := Table{
+		ID:     id,
+		Title:  title + " — heterogeneity improvement",
+		Header: append([]string{"combo"}, rangeHeaders(ranges)...),
+	}
+	for _, combo := range minComboNames {
+		pRow := []string{combo}
+		tRow := []string{combo}
+		hRow := []string{combo}
+		for _, c := range ranges {
+			r, err := run(cfg, ds, minCombo(combo, c))
+			if err != nil {
+				return nil, err
+			}
+			if r.Infeasible {
+				pRow = append(pRow, "inf.")
+				tRow = append(tRow, "-")
+				hRow = append(hRow, "-")
+				continue
+			}
+			pRow = append(pRow, fmt.Sprintf("%d", r.P))
+			tRow = append(tRow, fmt.Sprintf("%s/%s", secs(r.ConstructionSec), secs(r.TabuSec)))
+			hRow = append(hRow, fmt.Sprintf("%.1f%%", r.HeteroImprovePct))
+		}
+		pTab.Rows = append(pTab.Rows, pRow)
+		tTab.Rows = append(tTab.Rows, tRow)
+		hTab.Rows = append(hTab.Rows, hRow)
+	}
+	note := fmt.Sprintf("dataset 2k at scale %g (%d areas); MIN on %s", cfg.Scale, ds.N(), census.AttrPop16Up)
+	pTab.Notes = []string{note}
+	return []Table{pTab, tTab, hTab}, nil
+}
+
+func rangeHeaders(ranges []constraint.Constraint) []string {
+	out := make([]string, len(ranges))
+	for i, c := range ranges {
+		out[i] = rangeLabel(c.Lower, c.Upper)
+	}
+	return out
+}
+
+// Table3MinCombos reproduces Table III: p values for MIN constraint
+// combinations over all four range families.
+func Table3MinCombos(cfg Config) ([]Table, error) {
+	var all []Table
+	groups := []struct {
+		title  string
+		ranges []constraint.Constraint
+	}{
+		{"Table III (l = -inf)", minRangesUpperOnly()},
+		{"Table III (u = inf)", minRangesLowerOnly()},
+		{"Table III (bounded, varying length)", minRangesBoundedLengths()},
+		{"Table III (bounded, varying midpoint)", minRangesBoundedMidpoints()},
+	}
+	for _, g := range groups {
+		tabs, err := minSweep(cfg, "table3", g.title, g.ranges)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, tabs[0]) // Table III reports only p values
+	}
+	return all, nil
+}
+
+// Fig5MinUpperBound reproduces Figure 5: runtime for MIN with l = -inf.
+func Fig5MinUpperBound(cfg Config) ([]Table, error) {
+	return minSweep(cfg, "fig5", "Fig. 5: MIN with l = -inf", minRangesUpperOnly())
+}
+
+// Fig6MinLowerBound reproduces Figure 6: runtime for MIN with u = inf.
+func Fig6MinLowerBound(cfg Config) ([]Table, error) {
+	return minSweep(cfg, "fig6", "Fig. 6: MIN with u = inf", minRangesLowerOnly())
+}
+
+// Fig7MinBounded reproduces Figure 7: runtime for MIN with bounded l and u,
+// varying the range length (7a) and the range midpoint (7b).
+func Fig7MinBounded(cfg Config) ([]Table, error) {
+	a, err := minSweep(cfg, "fig7a", "Fig. 7a: bounded MIN, varying range length (midpoint 3k)", minRangesBoundedLengths())
+	if err != nil {
+		return nil, err
+	}
+	b, err := minSweep(cfg, "fig7b", "Fig. 7b: bounded MIN, varying midpoint (length 1k)", minRangesBoundedMidpoints())
+	if err != nil {
+		return nil, err
+	}
+	return append(a, b...), nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/exact"
+	"emp/internal/geom"
+)
+
+// scaleSweep runs the given combos over the named datasets, reporting p and
+// the construction/tabu split per dataset.
+func scaleSweep(cfg Config, id, title string, names []string, combos map[string]func(Config) constraint.Set) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	order := []string{"M", "A", "MS", "MA", "AS", "MAS"}
+	pTab := Table{ID: id, Title: title + " — p values", Header: []string{"combo"}}
+	tTab := Table{ID: id, Title: title + " — runtime (construction / tabu)", Header: []string{"combo"}}
+	datasets := make([]*data.Dataset, 0, len(names))
+	for _, name := range names {
+		ds, err := dataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		datasets = append(datasets, ds)
+		pTab.Header = append(pTab.Header, fmt.Sprintf("%s(n=%d)", name, ds.N()))
+		tTab.Header = append(tTab.Header, fmt.Sprintf("%s(n=%d)", name, ds.N()))
+	}
+	for _, combo := range order {
+		build, ok := combos[combo]
+		if !ok {
+			continue
+		}
+		pRow, tRow := []string{combo}, []string{combo}
+		for _, ds := range datasets {
+			r, err := run(cfg, ds, build(cfg))
+			if err != nil {
+				return nil, err
+			}
+			if r.Infeasible {
+				pRow = append(pRow, "inf.")
+				tRow = append(tRow, "-")
+				continue
+			}
+			pRow = append(pRow, fmt.Sprintf("%d", r.P))
+			tRow = append(tRow, fmt.Sprintf("%s/%s", secs(r.ConstructionSec), secs(r.TabuSec)))
+		}
+		pTab.Rows = append(pTab.Rows, pRow)
+		tTab.Rows = append(tTab.Rows, tRow)
+	}
+	pTab.Notes = []string{fmt.Sprintf("scale %g; default Table II constraints", cfg.Scale)}
+	return []Table{pTab, tTab}, nil
+}
+
+// defaultCombos are the scalability-combination builders with the Table II
+// default threshold ranges.
+func defaultCombos() map[string]func(Config) constraint.Set {
+	return map[string]func(Config) constraint.Set{
+		"M":   func(Config) constraint.Set { return constraint.Set{defaultMin()} },
+		"MS":  func(Config) constraint.Set { return constraint.Set{defaultMin(), defaultSum()} },
+		"MA":  func(Config) constraint.Set { return constraint.Set{defaultMin(), defaultAvg()} },
+		"MAS": func(Config) constraint.Set { return constraint.Set{defaultMin(), defaultAvg(), defaultSum()} },
+	}
+}
+
+// Fig14ScaleSmall reproduces Figure 14: runtime on the 1k-4k datasets (the
+// 8k single-state dataset is included for continuity with Fig. 15).
+func Fig14ScaleSmall(cfg Config) ([]Table, error) {
+	return scaleSweep(cfg, "fig14", "Fig. 14: scalability 1k-8k", []string{"1k", "2k", "4k", "8k"}, defaultCombos())
+}
+
+// Fig15ScaleLarge reproduces Figure 15: runtime on the 10k-50k multi-state
+// datasets.
+func Fig15ScaleLarge(cfg Config) ([]Table, error) {
+	return scaleSweep(cfg, "fig15", "Fig. 15: scalability 10k-50k", []string{"10k", "20k", "30k", "40k", "50k"}, defaultCombos())
+}
+
+// Fig16AvgHardScale reproduces Figure 16: scalability with the hard AVG
+// range 3k±1k across datasets.
+func Fig16AvgHardScale(cfg Config) ([]Table, error) {
+	hard := func(Config) constraint.Set {
+		return constraint.Set{avgRange(2000, 4000)}
+	}
+	combos := map[string]func(Config) constraint.Set{
+		"A":  hard,
+		"MA": func(c Config) constraint.Set { return append(constraint.Set{defaultMin()}, hard(c)...) },
+		"AS": func(c Config) constraint.Set { return append(hard(c), defaultSum()) },
+		"MAS": func(c Config) constraint.Set {
+			return append(append(constraint.Set{defaultMin()}, hard(c)...), defaultSum())
+		},
+	}
+	return scaleSweep(cfg, "fig16", "Fig. 16: scalability with AVG range 3k±1k", []string{"1k", "2k", "4k", "8k"}, combos)
+}
+
+// MIPBlowup reproduces the Section I anecdote: exact (MIP-style) solving is
+// intractable beyond a handful of areas. It times the exhaustive solver on
+// growing grid instances; the paper's Gurobi runs took 33.86 s at 9 areas
+// and found nothing for 25 areas in 110 hours.
+func MIPBlowup(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:     "mip",
+		Title:  "Exact-solver blow-up (stand-in for the Gurobi MIP anecdote)",
+		Header: []string{"areas", "explored", "time", "p*"},
+	}
+	for _, side := range []struct{ cols, rows int }{{2, 2}, {3, 2}, {4, 2}, {3, 3}, {5, 2}} {
+		n := side.cols * side.rows
+		polys := geom.Lattice(geom.LatticeOptions{Cols: side.cols, Rows: side.rows})
+		ds := data.FromPolygons(fmt.Sprintf("grid%d", n), polys, geom.Rook)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(1 + (i*7)%5)
+		}
+		if err := ds.AddColumn("s", vals); err != nil {
+			return nil, err
+		}
+		ds.Dissimilarity = "s"
+		set := constraint.Set{constraint.AtLeast(constraint.Sum, "s", 5)}
+		start := time.Now()
+		res, err := exact.Solve(ds, set, exact.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", res.Explored),
+			time.Since(start).String(),
+			fmt.Sprintf("%d", res.P),
+		})
+	}
+	t.Notes = []string{"paper: Gurobi needed 33.86s for 9 areas and failed on 25 areas after 110 hours"}
+	return []Table{t}, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+)
+
+// sumCombos are the Section VII-B3 combinations: the MP-regions baseline
+// (MP, only valid with u = inf), a varying SUM constraint alone (S), and
+// the SUM constraint with the default MIN (MS), AVG (AS), and both (MAS).
+var sumComboNames = []string{"MP", "S", "MS", "AS", "MAS"}
+
+func sumCombo(name string, c constraint.Constraint) constraint.Set {
+	switch name {
+	case "S":
+		return constraint.Set{c}
+	case "MS":
+		return constraint.Set{defaultMin(), c}
+	case "AS":
+		return constraint.Set{defaultAvg(), c}
+	case "MAS":
+		return constraint.Set{defaultMin(), defaultAvg(), c}
+	default:
+		panic("unknown SUM combo " + name)
+	}
+}
+
+func sumRange(l, u float64) constraint.Constraint {
+	return constraint.New(constraint.Sum, census.AttrTotalPop, l, u)
+}
+
+// sumSweep runs all combos over the given SUM ranges; the MP baseline runs
+// only for open-upper ranges (the classic max-p setting).
+func sumSweep(cfg Config, id, title string, ranges []constraint.Constraint) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "2k")
+	if err != nil {
+		return nil, err
+	}
+	pTab := Table{ID: id, Title: title + " — p values", Header: append([]string{"combo"}, rangeHeaders(ranges)...)}
+	tTab := Table{ID: id, Title: title + " — runtime (construction / tabu)", Header: append([]string{"combo"}, rangeHeaders(ranges)...)}
+	uTab := Table{ID: id, Title: title + " — unassigned areas (% of n)", Header: append([]string{"combo"}, rangeHeaders(ranges)...)}
+	for _, combo := range sumComboNames {
+		pRow, tRow, uRow := []string{combo}, []string{combo}, []string{combo}
+		for _, c := range ranges {
+			var r runResult
+			var err error
+			if combo == "MP" {
+				if !math.IsInf(c.Upper, 1) {
+					pRow = append(pRow, "N/A")
+					tRow = append(tRow, "N/A")
+					uRow = append(uRow, "N/A")
+					continue
+				}
+				r, err = runMaxP(cfg, ds, c.Lower)
+			} else {
+				r, err = run(cfg, ds, sumCombo(combo, c))
+			}
+			if err != nil {
+				return nil, err
+			}
+			if r.Infeasible {
+				pRow = append(pRow, "inf.")
+				tRow = append(tRow, "-")
+				uRow = append(uRow, "-")
+				continue
+			}
+			pRow = append(pRow, fmt.Sprintf("%d", r.P))
+			tRow = append(tRow, fmt.Sprintf("%s/%s", secs(r.ConstructionSec), secs(r.TabuSec)))
+			uRow = append(uRow, fmt.Sprintf("%.1f%%", 100*float64(r.Unassigned)/float64(ds.N())))
+		}
+		pTab.Rows = append(pTab.Rows, pRow)
+		tTab.Rows = append(tTab.Rows, tRow)
+		uTab.Rows = append(uTab.Rows, uRow)
+	}
+	pTab.Notes = []string{fmt.Sprintf("dataset 2k at scale %g (%d areas); SUM on %s; MP = classic max-p baseline", cfg.Scale, ds.N(), census.AttrTotalPop)}
+	return []Table{pTab, tTab, uTab}, nil
+}
+
+func sumRangesOpenUpper() []constraint.Constraint {
+	inf := math.Inf(1)
+	return []constraint.Constraint{
+		sumRange(1000, inf), sumRange(10000, inf), sumRange(20000, inf),
+		sumRange(30000, inf), sumRange(40000, inf),
+	}
+}
+
+func sumRangesBounded() []constraint.Constraint {
+	return []constraint.Constraint{
+		sumRange(15000, 25000), sumRange(10000, 30000), sumRange(5000, 35000),
+	}
+}
+
+// Table4SumCombos reproduces Table IV: p values for SUM combinations over
+// open-upper and bounded ranges, including the MP baseline.
+func Table4SumCombos(cfg Config) ([]Table, error) {
+	a, err := sumSweep(cfg, "table4", "Table IV (u = inf)", sumRangesOpenUpper())
+	if err != nil {
+		return nil, err
+	}
+	b, err := sumSweep(cfg, "table4", "Table IV (bounded ranges)", sumRangesBounded())
+	if err != nil {
+		return nil, err
+	}
+	return []Table{a[0], b[0]}, nil
+}
+
+// Fig12SumVsMaxP reproduces Figure 12: runtime for SUM with u = inf,
+// including the MP-regions baseline.
+func Fig12SumVsMaxP(cfg Config) ([]Table, error) {
+	return sumSweep(cfg, "fig12", "Fig. 12: SUM with u = inf vs MP baseline", sumRangesOpenUpper())
+}
+
+// Fig13SumBounded reproduces Figure 13: runtime for SUM with bounded,
+// progressively longer ranges.
+func Fig13SumBounded(cfg Config) ([]Table, error) {
+	return sumSweep(cfg, "fig13", "Fig. 13: SUM with bounded ranges", sumRangesBounded())
+}

@@ -1,0 +1,259 @@
+package fact
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"emp/internal/anneal"
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/region"
+	"emp/internal/tabu"
+)
+
+// ErrInfeasible is returned (wrapped) when the feasibility phase proves no
+// region can satisfy the constraint set on the dataset. The Result still
+// carries the Feasibility report so callers can show the reasons.
+var ErrInfeasible = errors.New("fact: no feasible solution exists for the given constraints")
+
+// Order selects the area pickup criteria used by the construction phase.
+type Order int
+
+const (
+	// OrderRandom shuffles areas per iteration (the paper's default).
+	OrderRandom Order = iota
+	// OrderAscending processes areas by ascending id.
+	OrderAscending
+	// OrderDescending processes areas by descending id.
+	OrderDescending
+)
+
+// String names the order for reports.
+func (o Order) String() string {
+	switch o {
+	case OrderRandom:
+		return "random"
+	case OrderAscending:
+		return "ascending"
+	case OrderDescending:
+		return "descending"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Config tunes the FaCT algorithm. The zero value is usable: every field
+// falls back to the paper's defaults (Section VII-A).
+type Config struct {
+	// MergeLimit bounds the merge trials per area in Substep 2.2 round 2.
+	// 0 means the paper default of 3.
+	MergeLimit int
+	// Iterations is the number of construction iterations; the partition
+	// with the highest p is kept. 0 means 1.
+	Iterations int
+	// TabuLength is the tabu tenure. 0 means the paper default of 10.
+	TabuLength int
+	// MaxNoImprove stops the local search after this many moves without
+	// improving the best heterogeneity. 0 means the dataset size.
+	MaxNoImprove int
+	// SkipLocalSearch disables the Tabu phase (construction only).
+	SkipLocalSearch bool
+	// Order selects the area pickup criteria.
+	Order Order
+	// Seed drives the random choices; runs are reproducible per seed.
+	Seed int64
+	// Objective overrides the local-search optimization target; nil means
+	// the paper's heterogeneity H(P). See tabu.Objective for alternatives
+	// (spatial compactness, weighted multi-criteria).
+	Objective tabu.Objective
+	// Parallelism runs construction iterations on up to this many
+	// goroutines (the paper's future-work parallelization). 0 or 1 keeps
+	// the construction sequential. Results are deterministic for a given
+	// Seed regardless of Parallelism because each iteration owns its seed
+	// and the best-p tie-break prefers the lowest iteration index.
+	Parallelism int
+	// LocalSearch selects the phase-3 algorithm (default Tabu search).
+	LocalSearch LocalSearch
+}
+
+// LocalSearch selects the phase-3 improvement algorithm.
+type LocalSearch int
+
+const (
+	// LocalSearchTabu is the paper's Tabu search (default).
+	LocalSearchTabu LocalSearch = iota
+	// LocalSearchAnneal is the simulated-annealing alternative.
+	LocalSearchAnneal
+)
+
+// String names the local-search algorithm.
+func (l LocalSearch) String() string {
+	switch l {
+	case LocalSearchTabu:
+		return "tabu"
+	case LocalSearchAnneal:
+		return "anneal"
+	default:
+		return fmt.Sprintf("LocalSearch(%d)", int(l))
+	}
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.MergeLimit == 0 {
+		c.MergeLimit = 3
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+	if c.TabuLength == 0 {
+		c.TabuLength = 10
+	}
+	if c.MaxNoImprove == 0 {
+		c.MaxNoImprove = n
+	}
+	return c
+}
+
+// Result is the outcome of a FaCT run.
+type Result struct {
+	// Partition is the final solution; nil when infeasible.
+	Partition *region.Partition
+	// Feasibility is the phase-1 report (always present).
+	Feasibility *Feasibility
+	// P is the number of regions.
+	P int
+	// Unassigned is |U0|.
+	Unassigned int
+	// HeteroBefore and HeteroAfter record H(P) before and after the local
+	// search phase.
+	HeteroBefore, HeteroAfter float64
+	// ConstructionTime and LocalSearchTime are the phase wall times.
+	ConstructionTime, LocalSearchTime time.Duration
+	// TabuMoves is the number of accepted local-search moves.
+	TabuMoves int
+	// Iterations is the number of construction iterations executed.
+	Iterations int
+}
+
+// HeteroImprovement returns the relative improvement of the local search:
+// |before-after| / before (0 when before is 0), the measure reported
+// throughout the paper's evaluation.
+func (r *Result) HeteroImprovement() float64 {
+	if r.HeteroBefore == 0 {
+		return 0
+	}
+	return (r.HeteroBefore - r.HeteroAfter) / r.HeteroBefore
+}
+
+// Solve runs the three FaCT phases on the dataset under the constraint set.
+// It returns ErrInfeasible (wrapped, with the report in Result) when phase 1
+// proves infeasibility.
+func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
+	if ds.N() == 0 {
+		return nil, fmt.Errorf("fact: empty dataset")
+	}
+	cfg = cfg.withDefaults(ds.N())
+	ev, err := constraint.NewEvaluator(set, ds.Column)
+	if err != nil {
+		return nil, err
+	}
+
+	feas, err := Analyze(ds, ev)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Feasibility: feas}
+	if !feas.Feasible {
+		return res, fmt.Errorf("%w: %v", ErrInfeasible, feas.Reasons)
+	}
+
+	// Phase 2: construction, keeping the partition with the highest p
+	// (ties broken by lower heterogeneity, then by iteration index so
+	// parallel and sequential runs pick the same winner).
+	start := time.Now()
+	candidates := make([]*region.Partition, cfg.Iterations)
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Iterations {
+		workers = cfg.Iterations
+	}
+	var firstErr error
+	if workers == 1 {
+		for it := 0; it < cfg.Iterations; it++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
+			p, err := construct(ds, ev, feas, &cfg, rng)
+			if err != nil {
+				return nil, err
+			}
+			candidates[it] = p
+		}
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		sem := make(chan struct{}, workers)
+		for it := 0; it < cfg.Iterations; it++ {
+			wg.Add(1)
+			go func(it int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
+				p, err := construct(ds, ev, feas, &cfg, rng)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				candidates[it] = p
+			}(it)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	var best *region.Partition
+	for _, p := range candidates {
+		res.Iterations++
+		if best == nil || p.NumRegions() > best.NumRegions() ||
+			(p.NumRegions() == best.NumRegions() && p.Heterogeneity() < best.Heterogeneity()) {
+			best = p
+		}
+	}
+	res.ConstructionTime = time.Since(start)
+	res.Partition = best
+	res.HeteroBefore = best.Heterogeneity()
+
+	// Phase 3: local search (Tabu by default, simulated annealing as the
+	// alternative) on the configured objective.
+	if !cfg.SkipLocalSearch && best.NumRegions() > 1 {
+		start = time.Now()
+		switch cfg.LocalSearch {
+		case LocalSearchAnneal:
+			stats := anneal.Improve(best, anneal.Config{
+				Objective: cfg.Objective,
+				Seed:      cfg.Seed,
+				Steps:     20 * cfg.MaxNoImprove,
+			})
+			res.TabuMoves = stats.Accepted
+		default:
+			stats := tabu.Improve(best, tabu.Config{
+				Objective:    cfg.Objective,
+				Tenure:       cfg.TabuLength,
+				MaxNoImprove: cfg.MaxNoImprove,
+				Seed:         cfg.Seed,
+			})
+			res.TabuMoves = stats.Moves
+		}
+		res.LocalSearchTime = time.Since(start)
+	}
+	res.HeteroAfter = best.Heterogeneity()
+	res.P = best.NumRegions()
+	res.Unassigned = best.UnassignedCount()
+	return res, nil
+}

@@ -1,0 +1,197 @@
+// Package fact implements FaCT, the three-phase algorithm the paper
+// proposes for the enriched max-p-regions (EMP) problem: a feasibility
+// phase, a three-step greedy construction phase, and a Tabu-search local
+// improvement phase (delegated to internal/tabu).
+package fact
+
+import (
+	"fmt"
+	"math"
+
+	"emp/internal/constraint"
+	"emp/internal/data"
+)
+
+// Feasibility is the outcome of the feasibility phase (Section V-A): hard
+// infeasibility reasons, Theorem-3 style warnings, the invalid-area filter
+// and the seed-area marking that is piggybacked on the same pass.
+type Feasibility struct {
+	// Feasible is false when no region can possibly satisfy the
+	// constraint set on this dataset.
+	Feasible bool
+	// Reasons explains each hard infeasibility.
+	Reasons []string
+	// Warnings lists soft findings: conditions under which no complete
+	// partition exists (Theorem 3) even though solutions with unassigned
+	// areas may.
+	Warnings []string
+	// Invalid marks areas that cannot belong to any valid region and are
+	// moved to U0 before construction.
+	Invalid []bool
+	// InvalidCount is the number of true entries in Invalid.
+	InvalidCount int
+	// Seed marks valid areas that satisfy both bounds of at least one
+	// extrema (MIN/MAX) constraint. With no extrema constraints every
+	// valid area is a seed.
+	Seed []bool
+	// SeedCount is the number of true entries in Seed; it upper-bounds p.
+	SeedCount int
+}
+
+// Analyze runs the feasibility phase: one pass computing dataset-level
+// aggregates per constraint, the infeasibility rules of Section V-A, the
+// invalid-area filter, and seed marking.
+//
+// Spatially extensive attributes are assumed non-negative (as in the paper);
+// Analyze rejects datasets violating that for SUM-constrained attributes
+// because the monotonicity arguments of the construction phase rely on it.
+func Analyze(ds *data.Dataset, ev *constraint.Evaluator) (*Feasibility, error) {
+	n := ds.N()
+	f := &Feasibility{
+		Feasible: true,
+		Invalid:  make([]bool, n),
+		Seed:     make([]bool, n),
+	}
+	set := ev.Set()
+
+	// Dataset-level aggregates per constraint (over all areas).
+	mins := make([]float64, len(set))
+	maxs := make([]float64, len(set))
+	sums := make([]float64, len(set))
+	for i := range set {
+		mins[i] = math.Inf(1)
+		maxs[i] = math.Inf(-1)
+		for a := 0; a < n; a++ {
+			v := ev.AreaValue(i, a)
+			mins[i] = math.Min(mins[i], v)
+			maxs[i] = math.Max(maxs[i], v)
+			sums[i] = sums[i] + v
+		}
+	}
+
+	fail := func(format string, args ...interface{}) {
+		f.Feasible = false
+		f.Reasons = append(f.Reasons, fmt.Sprintf(format, args...))
+	}
+	warn := func(format string, args ...interface{}) {
+		f.Warnings = append(f.Warnings, fmt.Sprintf(format, args...))
+	}
+
+	for i, c := range set {
+		switch c.Agg {
+		case constraint.Avg:
+			avg := sums[i] / float64(n)
+			if n > 0 && (avg < c.Lower || avg > c.Upper) {
+				warn("constraint %s: dataset average %.4g is outside the range, so no partition of ALL areas exists (Theorem 3); solutions must leave areas unassigned", c, avg)
+			}
+			if maxs[i] < c.Lower {
+				fail("constraint %s: every area value is below the lower bound (max %.4g), so no region can reach the required average", c, maxs[i])
+			}
+			if mins[i] > c.Upper {
+				fail("constraint %s: every area value is above the upper bound (min %.4g), so no region can reach the required average", c, mins[i])
+			}
+		case constraint.Min:
+			if maxs[i] < c.Lower {
+				fail("constraint %s: no area satisfies the MIN lower bound (dataset max %.4g)", c, maxs[i])
+			}
+			if mins[i] > c.Upper {
+				fail("constraint %s: no area satisfies the MIN upper bound (dataset min %.4g)", c, mins[i])
+			}
+		case constraint.Max:
+			if mins[i] > c.Upper {
+				fail("constraint %s: no area satisfies the MAX upper bound (dataset min %.4g)", c, mins[i])
+			}
+			if maxs[i] < c.Lower {
+				fail("constraint %s: no area satisfies the MAX lower bound (dataset max %.4g)", c, maxs[i])
+			}
+		case constraint.Sum:
+			if mins[i] < 0 {
+				return nil, fmt.Errorf("fact: constraint %s: attribute has negative values; spatially extensive attributes must be non-negative", c)
+			}
+			if mins[i] > c.Upper {
+				fail("constraint %s: the smallest area value %.4g already exceeds the upper bound", c, mins[i])
+			}
+			if sums[i] < c.Lower {
+				fail("constraint %s: the dataset total %.4g is below the lower bound; even a single all-area region fails", c, sums[i])
+			}
+		case constraint.Count:
+			if float64(n) < c.Lower {
+				fail("constraint %s: only %d areas exist, below the COUNT lower bound", c, n)
+			}
+		}
+	}
+
+	// Invalid-area filter (single pass, all constraints).
+	for a := 0; a < n; a++ {
+		for i := range set {
+			if set[i].InvalidArea(ev.AreaValue(i, a)) {
+				f.Invalid[a] = true
+				break
+			}
+		}
+		if f.Invalid[a] {
+			f.InvalidCount++
+		}
+	}
+	validCount := n - f.InvalidCount
+	if f.Feasible && validCount == 0 {
+		fail("all %d areas are invalid under the extrema/SUM filters", n)
+	}
+
+	// Re-check counting lower bounds on the filtered area set: filtering
+	// can only shrink totals.
+	for i, c := range set {
+		switch c.Agg {
+		case constraint.Sum:
+			if !math.IsInf(c.Lower, -1) {
+				validSum := 0.0
+				for a := 0; a < n; a++ {
+					if !f.Invalid[a] {
+						validSum += ev.AreaValue(i, a)
+					}
+				}
+				if validSum < c.Lower {
+					fail("constraint %s: after filtering invalid areas the remaining total %.4g is below the lower bound", c, validSum)
+				}
+				_ = mins[i]
+			}
+		case constraint.Count:
+			if float64(validCount) < c.Lower {
+				fail("constraint %s: only %d valid areas remain, below the COUNT lower bound", c, validCount)
+			}
+		}
+	}
+
+	// Seed marking (piggybacked as in the paper). An area is a seed when
+	// it meets both bounds of at least one extrema constraint; without
+	// extrema constraints every valid area is a seed.
+	extrema := set.ByFamily(constraint.Extrema)
+	extremaIdx := make([]int, 0, len(extrema))
+	for i, c := range set {
+		if c.Agg.Family() == constraint.Extrema {
+			extremaIdx = append(extremaIdx, i)
+		}
+	}
+	for a := 0; a < n; a++ {
+		if f.Invalid[a] {
+			continue
+		}
+		if len(extremaIdx) == 0 {
+			f.Seed[a] = true
+		} else {
+			for _, i := range extremaIdx {
+				if set[i].SeedArea(ev.AreaValue(i, a)) {
+					f.Seed[a] = true
+					break
+				}
+			}
+		}
+		if f.Seed[a] {
+			f.SeedCount++
+		}
+	}
+	if f.Feasible && f.SeedCount == 0 {
+		fail("no seed areas exist for the extrema constraints; no region can satisfy them")
+	}
+	return f, nil
+}

@@ -1,0 +1,240 @@
+package fact
+
+import (
+	"strings"
+	"testing"
+
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/geom"
+)
+
+// paperExample builds the running example of the paper's Figure 1: a 3x3
+// grid of areas a1..a9 (ids 0..8) whose attribute s equals id+1.
+func paperExample(t *testing.T) *data.Dataset {
+	t.Helper()
+	polys := geom.Lattice(geom.LatticeOptions{Cols: 3, Rows: 3})
+	ds := data.FromPolygons("fig1", polys, geom.Rook)
+	s := make([]float64, 9)
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	if err := ds.AddColumn("s", s); err != nil {
+		t.Fatal(err)
+	}
+	ds.Dissimilarity = "s"
+	return ds
+}
+
+func evalFor(t *testing.T, ds *data.Dataset, set constraint.Set) *constraint.Evaluator {
+	t.Helper()
+	ev, err := constraint.NewEvaluator(set, ds.Column)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestAnalyzePaperStep1 reproduces the paper's Step 1 example (Fig. 1b):
+// with extrema constraints {(MIN,s,2,4), (MAX,s,6,7)}, areas a1, a8, a9 are
+// filtered out and a2,a3,a4 (MIN) plus a6,a7 (MAX) become seeds.
+func TestAnalyzePaperStep1(t *testing.T) {
+	ds := paperExample(t)
+	set := constraint.Set{
+		constraint.New(constraint.Min, "s", 2, 4),
+		constraint.New(constraint.Max, "s", 6, 7),
+	}
+	f, err := Analyze(ds, evalFor(t, ds, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("expected feasible, reasons: %v", f.Reasons)
+	}
+	wantInvalid := map[int]bool{0: true, 7: true, 8: true} // a1, a8, a9
+	for a := 0; a < 9; a++ {
+		if f.Invalid[a] != wantInvalid[a] {
+			t.Errorf("Invalid[a%d] = %v, want %v", a+1, f.Invalid[a], wantInvalid[a])
+		}
+	}
+	if f.InvalidCount != 3 {
+		t.Errorf("InvalidCount = %d, want 3", f.InvalidCount)
+	}
+	wantSeed := map[int]bool{1: true, 2: true, 3: true, 5: true, 6: true} // a2,a3,a4,a6,a7
+	for a := 0; a < 9; a++ {
+		if f.Seed[a] != wantSeed[a] {
+			t.Errorf("Seed[a%d] = %v, want %v", a+1, f.Seed[a], wantSeed[a])
+		}
+	}
+	if f.SeedCount != 5 {
+		t.Errorf("SeedCount = %d, want 5", f.SeedCount)
+	}
+}
+
+func TestAnalyzeNoExtremaAllValidAreSeeds(t *testing.T) {
+	ds := paperExample(t)
+	set := constraint.Set{constraint.AtLeast(constraint.Sum, "s", 3)}
+	f, err := Analyze(ds, evalFor(t, ds, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SeedCount != 9 || f.InvalidCount != 0 {
+		t.Errorf("seeds=%d invalid=%d, want 9/0", f.SeedCount, f.InvalidCount)
+	}
+}
+
+func TestAnalyzeInfeasibilityRules(t *testing.T) {
+	tests := []struct {
+		name   string
+		set    constraint.Set
+		reason string
+	}{
+		{
+			"MIN no seed below",
+			constraint.Set{constraint.New(constraint.Min, "s", 100, 200)},
+			"no area satisfies the MIN lower bound",
+		},
+		{
+			"MIN all above upper",
+			constraint.Set{constraint.New(constraint.Min, "s", -100, 0.5)},
+			"no area satisfies the MIN upper bound",
+		},
+		{
+			"MAX all above upper",
+			constraint.Set{constraint.New(constraint.Max, "s", -100, 0.5)},
+			"no area satisfies the MAX upper bound",
+		},
+		{
+			"MAX all below lower",
+			constraint.Set{constraint.New(constraint.Max, "s", 100, 200)},
+			"no area satisfies the MAX lower bound",
+		},
+		{
+			"SUM min exceeds upper",
+			constraint.Set{constraint.AtMost(constraint.Sum, "s", 0.5)},
+			"already exceeds the upper bound",
+		},
+		{
+			"SUM total below lower",
+			constraint.Set{constraint.AtLeast(constraint.Sum, "s", 1000)},
+			"dataset total",
+		},
+		{
+			"COUNT more areas than exist",
+			constraint.Set{constraint.AtLeast(constraint.Count, "", 10)},
+			"below the COUNT lower bound",
+		},
+		{
+			"AVG all below lower",
+			constraint.Set{constraint.New(constraint.Avg, "s", 100, 200)},
+			"below the lower bound",
+		},
+		{
+			"AVG all above upper",
+			constraint.Set{constraint.New(constraint.Avg, "s", -10, 0.5)},
+			"above the upper bound",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := paperExample(t)
+			f, err := Analyze(ds, evalFor(t, ds, tc.set))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Feasible {
+				t.Fatalf("expected infeasible")
+			}
+			found := false
+			for _, r := range f.Reasons {
+				if strings.Contains(r, tc.reason) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("reasons %v lack %q", f.Reasons, tc.reason)
+			}
+		})
+	}
+}
+
+// TestAnalyzeSumFilterCascade: filtering SUM-invalid areas can push the
+// remaining total below the lower bound, which the re-check catches.
+func TestAnalyzeSumFilterCascade(t *testing.T) {
+	// Two areas with values {5, 100}: the raw total (105) clears the
+	// lower bound 8, but the upper bound 10 invalidates the outlier and
+	// the remaining total (5) falls below 8 — only the post-filter
+	// re-check catches this.
+	polys := geom.Lattice(geom.LatticeOptions{Cols: 2, Rows: 1})
+	ds := data.FromPolygons("outlier", polys, geom.Rook)
+	if err := ds.AddColumn("s", []float64{5, 100}); err != nil {
+		t.Fatal(err)
+	}
+	ds.Dissimilarity = "s"
+	set := constraint.Set{constraint.New(constraint.Sum, "s", 8, 10)}
+	f, err := Analyze(ds, evalFor(t, ds, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Feasible {
+		t.Error("expected infeasible after filter cascade")
+	}
+}
+
+func TestAnalyzeTheorem3Warning(t *testing.T) {
+	ds := paperExample(t)
+	// Dataset average of s is 5; range [6,7] is unreachable for a full
+	// partition but single areas with s in [6,7] exist, so feasible with
+	// unassigned areas.
+	set := constraint.Set{constraint.New(constraint.Avg, "s", 6, 7)}
+	f, err := Analyze(ds, evalFor(t, ds, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Fatalf("expected feasible, got %v", f.Reasons)
+	}
+	if len(f.Warnings) == 0 || !strings.Contains(f.Warnings[0], "Theorem 3") {
+		t.Errorf("expected Theorem 3 warning, got %v", f.Warnings)
+	}
+}
+
+func TestAnalyzeRejectsNegativeSumAttribute(t *testing.T) {
+	ds := paperExample(t)
+	neg := make([]float64, 9)
+	for i := range neg {
+		neg[i] = float64(i) - 4
+	}
+	if err := ds.AddColumn("neg", neg); err != nil {
+		t.Fatal(err)
+	}
+	set := constraint.Set{constraint.AtLeast(constraint.Sum, "neg", 0)}
+	if _, err := Analyze(ds, evalFor(t, ds, set)); err == nil {
+		t.Error("negative SUM attribute accepted")
+	}
+}
+
+func TestAnalyzeAllAreasInvalid(t *testing.T) {
+	ds := paperExample(t)
+	// MIN lower bound 9.5 filters every area... and also triggers the
+	// "no seed" rule; either way infeasible.
+	set := constraint.Set{constraint.New(constraint.Min, "s", 9.5, 20)}
+	f, err := Analyze(ds, evalFor(t, ds, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Feasible {
+		t.Error("expected infeasible when all areas filtered")
+	}
+}
+
+func TestAnalyzeEmptyConstraintSet(t *testing.T) {
+	ds := paperExample(t)
+	f, err := Analyze(ds, evalFor(t, ds, constraint.Set{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible || f.SeedCount != 9 {
+		t.Errorf("empty set: feasible=%v seeds=%d", f.Feasible, f.SeedCount)
+	}
+}

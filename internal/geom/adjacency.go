@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Contiguity selects how polygon adjacency is derived.
+type Contiguity int
+
+const (
+	// Rook contiguity: two areas are neighbors when they share a whole
+	// edge (a pair of consecutive vertices).
+	Rook Contiguity = iota
+	// Queen contiguity: two areas are neighbors when they share at least
+	// one vertex.
+	Queen
+)
+
+// String returns the conventional GIS name of the contiguity rule.
+func (c Contiguity) String() string {
+	switch c {
+	case Rook:
+		return "rook"
+	case Queen:
+		return "queen"
+	default:
+		return fmt.Sprintf("Contiguity(%d)", int(c))
+	}
+}
+
+// quantum is the coordinate snapping grid used when hashing vertices and
+// edges. Polygon borders coming from the same source tile share exact
+// coordinates; the quantum absorbs float formatting noise from IO round
+// trips without merging genuinely distinct vertices.
+const quantum = 1e-9
+
+func snap(v float64) int64 {
+	return int64(math.Round(v / quantum))
+}
+
+type vertexKey struct {
+	X, Y int64
+}
+
+type edgeKey struct {
+	A, B vertexKey
+}
+
+func keyOf(p Point) vertexKey { return vertexKey{snap(p.X), snap(p.Y)} }
+
+// canonicalEdge orders the edge endpoints so that the key is direction
+// independent: polygon A traverses the shared edge opposite to polygon B.
+func canonicalEdge(p, q Point) edgeKey {
+	a, b := keyOf(p), keyOf(q)
+	if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// Adjacency computes the neighbor lists of the given polygons under the
+// chosen contiguity rule. The result has one sorted, duplicate-free slice
+// per polygon; adjacency is symmetric and irreflexive.
+//
+// Complexity is O(total vertices) expected: every edge (rook) or vertex
+// (queen) is hashed once and each bucket is expanded pairwise. Degenerate
+// inputs where many polygons meet at one vertex cost O(k^2) for that bucket,
+// matching the true neighbor count.
+func Adjacency(polys []Polygon, rule Contiguity) [][]int {
+	switch rule {
+	case Rook:
+		return rookAdjacency(polys)
+	case Queen:
+		return queenAdjacency(polys)
+	default:
+		return rookAdjacency(polys)
+	}
+}
+
+func rookAdjacency(polys []Polygon) [][]int {
+	buckets := make(map[edgeKey][]int)
+	for id, pg := range polys {
+		r := pg.Outer
+		for i := range r {
+			p, q := r.Edge(i)
+			k := canonicalEdge(p, q)
+			buckets[k] = append(buckets[k], id)
+		}
+	}
+	return expandBuckets(len(polys), buckets)
+}
+
+func queenAdjacency(polys []Polygon) [][]int {
+	buckets := make(map[vertexKey][]int)
+	for id, pg := range polys {
+		seen := make(map[vertexKey]bool, len(pg.Outer))
+		for _, p := range pg.Outer {
+			k := keyOf(p)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			buckets[k] = append(buckets[k], id)
+		}
+	}
+	out := make(map[vertexKey][]int, len(buckets))
+	for k, ids := range buckets {
+		if len(ids) > 1 {
+			out[k] = ids
+		}
+	}
+	return expandVertexBuckets(len(polys), out)
+}
+
+func expandBuckets(n int, buckets map[edgeKey][]int) [][]int {
+	sets := make([]map[int]bool, n)
+	for _, ids := range buckets {
+		link(sets, ids)
+	}
+	return finishAdjacency(sets, n)
+}
+
+func expandVertexBuckets(n int, buckets map[vertexKey][]int) [][]int {
+	sets := make([]map[int]bool, n)
+	for _, ids := range buckets {
+		link(sets, ids)
+	}
+	return finishAdjacency(sets, n)
+}
+
+func link(sets []map[int]bool, ids []int) {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, b := ids[i], ids[j]
+			if a == b {
+				continue
+			}
+			if sets[a] == nil {
+				sets[a] = make(map[int]bool)
+			}
+			if sets[b] == nil {
+				sets[b] = make(map[int]bool)
+			}
+			sets[a][b] = true
+			sets[b][a] = true
+		}
+	}
+}
+
+func finishAdjacency(sets []map[int]bool, n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if len(sets[i]) == 0 {
+			adj[i] = []int{}
+			continue
+		}
+		nb := make([]int, 0, len(sets[i]))
+		for j := range sets[i] {
+			nb = append(nb, j)
+		}
+		sort.Ints(nb)
+		adj[i] = nb
+	}
+	return adj
+}
+
+// SharedBorderLength returns the total length of edges shared between the
+// two polygons under rook contiguity. It is 0 when the polygons are not rook
+// neighbors.
+func SharedBorderLength(a, b Polygon) float64 {
+	edges := make(map[edgeKey]float64)
+	ra := a.Outer
+	for i := range ra {
+		p, q := ra.Edge(i)
+		edges[canonicalEdge(p, q)] = p.Dist(q)
+	}
+	var total float64
+	rb := b.Outer
+	for i := range rb {
+		p, q := rb.Edge(i)
+		if l, ok := edges[canonicalEdge(p, q)]; ok {
+			total += l
+		}
+	}
+	return total
+}

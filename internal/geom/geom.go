@@ -1,0 +1,201 @@
+// Package geom provides the planar geometry substrate for EMP: polygon
+// areas, bounding boxes, and contiguity (adjacency) extraction.
+//
+// The paper builds its contiguity graphs by joining census-tract shapefiles
+// in QGIS. This package replaces that GIS dependency: polygons are plain
+// coordinate rings and rook/queen adjacency is computed directly from the
+// geometry by hashing shared edges and shared vertices.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D coordinate. For synthetic datasets the units are abstract;
+// for imported data they are whatever the source uses (degrees, meters).
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p - q as a vector.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Ring is a closed sequence of vertices. The closing edge from the last
+// vertex back to the first is implicit; callers must not repeat the first
+// vertex at the end.
+type Ring []Point
+
+// Len returns the number of vertices in the ring.
+func (r Ring) Len() int { return len(r) }
+
+// Edge returns the i-th edge of the ring, from vertex i to vertex (i+1) mod n.
+func (r Ring) Edge(i int) (Point, Point) {
+	j := i + 1
+	if j == len(r) {
+		j = 0
+	}
+	return r[i], r[j]
+}
+
+// SignedArea returns the signed area of the ring using the shoelace formula.
+// Counter-clockwise rings have positive area.
+func (r Ring) SignedArea() float64 {
+	if len(r) < 3 {
+		return 0
+	}
+	var sum float64
+	for i := range r {
+		a, b := r.Edge(i)
+		sum += a.X*b.Y - b.X*a.Y
+	}
+	return sum / 2
+}
+
+// Area returns the absolute area of the ring.
+func (r Ring) Area() float64 { return math.Abs(r.SignedArea()) }
+
+// Centroid returns the area centroid of the ring. For degenerate rings
+// (area ~ 0) it falls back to the vertex average.
+func (r Ring) Centroid() Point {
+	a := r.SignedArea()
+	if math.Abs(a) < 1e-12 {
+		var c Point
+		if len(r) == 0 {
+			return c
+		}
+		for _, p := range r {
+			c.X += p.X
+			c.Y += p.Y
+		}
+		c.X /= float64(len(r))
+		c.Y /= float64(len(r))
+		return c
+	}
+	var cx, cy float64
+	for i := range r {
+		p, q := r.Edge(i)
+		cross := p.X*q.Y - q.X*p.Y
+		cx += (p.X + q.X) * cross
+		cy += (p.Y + q.Y) * cross
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+// Polygon is a simple polygon without holes. EMP areas are arbitrary
+// polygons; holes do not affect contiguity so a single outer ring suffices
+// for the algorithmic substrate.
+type Polygon struct {
+	Outer Ring
+}
+
+// Area returns the polygon area.
+func (pg Polygon) Area() float64 { return pg.Outer.Area() }
+
+// Centroid returns the polygon centroid.
+func (pg Polygon) Centroid() Point { return pg.Outer.Centroid() }
+
+// BBox returns the axis-aligned bounding box of the polygon.
+func (pg Polygon) BBox() BBox {
+	b := EmptyBBox()
+	for _, p := range pg.Outer {
+		b.Extend(p)
+	}
+	return b
+}
+
+// Contains reports whether pt lies strictly inside the polygon, using the
+// even-odd ray casting rule. Points exactly on the boundary may report
+// either value.
+func (pg Polygon) Contains(pt Point) bool {
+	in := false
+	r := pg.Outer
+	for i := range r {
+		a, b := r.Edge(i)
+		if (a.Y > pt.Y) != (b.Y > pt.Y) {
+			x := a.X + (pt.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if pt.X < x {
+				in = !in
+			}
+		}
+	}
+	return in
+}
+
+// Validate checks the polygon for structural problems: too few vertices,
+// repeated consecutive vertices, or zero area.
+func (pg Polygon) Validate() error {
+	r := pg.Outer
+	if len(r) < 3 {
+		return fmt.Errorf("geom: polygon has %d vertices, need at least 3", len(r))
+	}
+	for i := range r {
+		a, b := r.Edge(i)
+		if a == b {
+			return fmt.Errorf("geom: polygon has repeated consecutive vertex at index %d", i)
+		}
+	}
+	if r.Area() == 0 {
+		return fmt.Errorf("geom: polygon has zero area")
+	}
+	return nil
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyBBox returns an inverted box that Extend can grow from.
+func EmptyBBox() BBox {
+	inf := math.Inf(1)
+	return BBox{MinX: inf, MinY: inf, MaxX: -inf, MaxY: -inf}
+}
+
+// Extend grows the box to include p.
+func (b *BBox) Extend(p Point) {
+	b.MinX = math.Min(b.MinX, p.X)
+	b.MinY = math.Min(b.MinY, p.Y)
+	b.MaxX = math.Max(b.MaxX, p.X)
+	b.MaxY = math.Max(b.MaxY, p.Y)
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	return BBox{
+		MinX: math.Min(b.MinX, o.MinX),
+		MinY: math.Min(b.MinY, o.MinY),
+		MaxX: math.Max(b.MaxX, o.MaxX),
+		MaxY: math.Max(b.MaxY, o.MaxY),
+	}
+}
+
+// Intersects reports whether the two boxes overlap (closed intervals).
+func (b BBox) Intersects(o BBox) bool {
+	return b.MinX <= o.MaxX && o.MinX <= b.MaxX && b.MinY <= o.MaxY && o.MinY <= b.MaxY
+}
+
+// Empty reports whether the box contains no points.
+func (b BBox) Empty() bool { return b.MinX > b.MaxX || b.MinY > b.MaxY }
+
+// Width returns the horizontal extent of the box, or 0 when empty.
+func (b BBox) Width() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return b.MaxX - b.MinX
+}
+
+// Height returns the vertical extent of the box, or 0 when empty.
+func (b BBox) Height() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return b.MaxY - b.MinY
+}

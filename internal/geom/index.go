@@ -1,0 +1,211 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Index is a uniform-grid spatial hash over points, supporting radius and
+// k-nearest-neighbor queries. It backs the KNN and distance-band contiguity
+// builders, which regionalization uses when polygon borders are unavailable
+// or unreliable (point data, disjoint parcels).
+type Index struct {
+	pts              []Point
+	cellSize         float64
+	cells            map[[2]int][]int
+	box              BBox
+	cellMin, cellMax [2]int
+}
+
+// NewIndex builds an index over the points. cellSize <= 0 picks a cell size
+// so the average cell holds a handful of points.
+func NewIndex(pts []Point, cellSize float64) *Index {
+	box := EmptyBBox()
+	for _, p := range pts {
+		box.Extend(p)
+	}
+	maxDim := math.Max(box.Width(), box.Height())
+	if cellSize <= 0 {
+		if len(pts) == 0 || box.Empty() || maxDim == 0 {
+			cellSize = 1
+		} else {
+			area := math.Max(box.Width(), 1e-9) * math.Max(box.Height(), 1e-9)
+			cellSize = math.Sqrt(area/float64(len(pts))) * 2
+			// Keep queries bounded: never let the whole extent span more
+			// than ~1k cells per axis (degenerate clusters otherwise
+			// collapse the cell size and explode the ranges scanned).
+			if floor := maxDim / 1024; cellSize < floor {
+				cellSize = floor
+			}
+			if cellSize <= 0 {
+				cellSize = 1
+			}
+		}
+	}
+	idx := &Index{
+		pts:      pts,
+		cellSize: cellSize,
+		cells:    make(map[[2]int][]int),
+		box:      box,
+	}
+	first := true
+	for i, p := range pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], i)
+		if first {
+			idx.cellMin, idx.cellMax = c, c
+			first = false
+			continue
+		}
+		for d := 0; d < 2; d++ {
+			if c[d] < idx.cellMin[d] {
+				idx.cellMin[d] = c[d]
+			}
+			if c[d] > idx.cellMax[d] {
+				idx.cellMax[d] = c[d]
+			}
+		}
+	}
+	return idx
+}
+
+func (ix *Index) cellOf(p Point) [2]int {
+	return [2]int{
+		int(math.Floor(p.X / ix.cellSize)),
+		int(math.Floor(p.Y / ix.cellSize)),
+	}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// Within returns the indices of points within radius of q (inclusive),
+// excluding the point identity `exclude` (pass -1 to keep everything),
+// sorted ascending.
+func (ix *Index) Within(q Point, radius float64, exclude int) []int {
+	if radius < 0 {
+		return nil
+	}
+	if len(ix.pts) == 0 {
+		return nil
+	}
+	r2 := radius * radius
+	c0 := ix.cellOf(Point{q.X - radius, q.Y - radius})
+	c1 := ix.cellOf(Point{q.X + radius, q.Y + radius})
+	// Clamp to occupied cells so degenerate geometry cannot force a scan
+	// over an unbounded range of empty cells.
+	for d := 0; d < 2; d++ {
+		if c0[d] < ix.cellMin[d] {
+			c0[d] = ix.cellMin[d]
+		}
+		if c1[d] > ix.cellMax[d] {
+			c1[d] = ix.cellMax[d]
+		}
+	}
+	var out []int
+	for cx := c0[0]; cx <= c1[0]; cx++ {
+		for cy := c0[1]; cy <= c1[1]; cy++ {
+			for _, i := range ix.cells[[2]int{cx, cy}] {
+				if i == exclude {
+					continue
+				}
+				d := ix.pts[i].Sub(q)
+				if d.X*d.X+d.Y*d.Y <= r2 {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Nearest returns the indices of the k points nearest to q (excluding
+// `exclude`), ordered by increasing distance with index as tie-break. It
+// expands the search ring until enough candidates are confirmed.
+func (ix *Index) Nearest(q Point, k, exclude int) []int {
+	if k <= 0 || len(ix.pts) == 0 {
+		return nil
+	}
+	type cand struct {
+		i  int
+		d2 float64
+	}
+	// Expand radius in cell rings until we have k candidates whose
+	// distance is within the searched radius (guaranteeing correctness).
+	radius := ix.cellSize
+	maxDim := math.Max(ix.box.Width(), ix.box.Height()) + 2*ix.cellSize
+	for {
+		ids := ix.Within(q, radius, exclude)
+		if len(ids) >= k || radius > maxDim {
+			cands := make([]cand, 0, len(ids))
+			for _, i := range ids {
+				d := ix.pts[i].Sub(q)
+				cands = append(cands, cand{i, d.X*d.X + d.Y*d.Y})
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if cands[a].d2 != cands[b].d2 {
+					return cands[a].d2 < cands[b].d2
+				}
+				return cands[a].i < cands[b].i
+			})
+			if len(cands) > k {
+				cands = cands[:k]
+			}
+			out := make([]int, len(cands))
+			for j, c := range cands {
+				out[j] = c.i
+			}
+			if len(out) == k || radius > maxDim {
+				return out
+			}
+		}
+		radius *= 2
+	}
+}
+
+// KNNAdjacency builds a symmetric k-nearest-neighbor contiguity over the
+// polygon centroids: i and j are neighbors when either is among the other's
+// k nearest. This is the standard KNN spatial weight, symmetrized so the
+// result is a valid undirected contiguity structure.
+func KNNAdjacency(polys []Polygon, k int) [][]int {
+	cents := make([]Point, len(polys))
+	for i, pg := range polys {
+		cents[i] = pg.Centroid()
+	}
+	ix := NewIndex(cents, 0)
+	sets := make([]map[int]bool, len(polys))
+	for i := range polys {
+		for _, j := range ix.Nearest(cents[i], k, i) {
+			if sets[i] == nil {
+				sets[i] = make(map[int]bool)
+			}
+			if sets[j] == nil {
+				sets[j] = make(map[int]bool)
+			}
+			sets[i][j] = true
+			sets[j][i] = true
+		}
+	}
+	return finishAdjacency(sets, len(polys))
+}
+
+// DistanceBandAdjacency links polygons whose centroids lie within the given
+// distance of each other (the PySAL "distance band" weight).
+func DistanceBandAdjacency(polys []Polygon, distance float64) [][]int {
+	cents := make([]Point, len(polys))
+	for i, pg := range polys {
+		cents[i] = pg.Centroid()
+	}
+	ix := NewIndex(cents, 0)
+	sets := make([]map[int]bool, len(polys))
+	for i := range polys {
+		for _, j := range ix.Within(cents[i], distance, i) {
+			if sets[i] == nil {
+				sets[i] = make(map[int]bool)
+			}
+			sets[i][j] = true
+		}
+	}
+	return finishAdjacency(sets, len(polys))
+}

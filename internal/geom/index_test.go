@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	return pts
+}
+
+// naiveWithin is the brute-force reference for Index.Within.
+func naiveWithin(pts []Point, q Point, radius float64, exclude int) []int {
+	var out []int
+	for i, p := range pts {
+		if i == exclude {
+			continue
+		}
+		if p.Dist(q) <= radius+1e-12 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestIndexWithinMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 80)
+		ix := NewIndex(pts, 0)
+		for trial := 0; trial < 5; trial++ {
+			q := Point{rng.Float64() * 100, rng.Float64() * 100}
+			radius := rng.Float64() * 30
+			got := ix.Within(q, radius, -1)
+			want := naiveWithin(pts, q, radius, -1)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexWithinEdgeCases(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {3, 4}}
+	ix := NewIndex(pts, 0)
+	if got := ix.Within(Point{0, 0}, -1, -1); got != nil {
+		t.Error("negative radius should return nil")
+	}
+	got := ix.Within(Point{0, 0}, 0, -1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("zero radius = %v, want [0]", got)
+	}
+	got = ix.Within(Point{0, 0}, 1, 0) // exclude index 0
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("excluded query = %v, want [1]", got)
+	}
+}
+
+func TestIndexNearestMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 60)
+		ix := NewIndex(pts, 0)
+		q := Point{rng.Float64() * 100, rng.Float64() * 100}
+		k := 1 + rng.Intn(8)
+		got := ix.Nearest(q, k, -1)
+		// Naive: sort all by distance.
+		idx := make([]int, len(pts))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			da, db := pts[idx[a]].Dist(q), pts[idx[b]].Dist(q)
+			if da != db {
+				return da < db
+			}
+			return idx[a] < idx[b]
+		})
+		want := idx[:k]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexNearestEdgeCases(t *testing.T) {
+	if got := NewIndex(nil, 0).Nearest(Point{}, 3, -1); got != nil {
+		t.Error("empty index should return nil")
+	}
+	pts := []Point{{0, 0}, {5, 0}}
+	ix := NewIndex(pts, 0)
+	if got := ix.Nearest(Point{0, 0}, 0, -1); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	got := ix.Nearest(Point{0, 0}, 5, -1) // k exceeds point count
+	if len(got) != 2 {
+		t.Errorf("k>n returned %v", got)
+	}
+	got = ix.Nearest(Point{1, 0}, 1, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("exclusion failed: %v", got)
+	}
+}
+
+func TestKNNAdjacency(t *testing.T) {
+	polys := Lattice(LatticeOptions{Cols: 5, Rows: 5})
+	adj := KNNAdjacency(polys, 4)
+	// Symmetric, irreflexive, and every area has >= 4 neighbors (k plus
+	// symmetrization can add more).
+	for i, nbs := range adj {
+		if len(nbs) < 4 {
+			t.Errorf("area %d has %d KNN neighbors, want >= 4", i, len(nbs))
+		}
+		for _, j := range nbs {
+			if j == i {
+				t.Errorf("self loop at %d", i)
+			}
+			if !containsInt(adj[j], i) {
+				t.Errorf("asymmetric KNN edge %d->%d", i, j)
+			}
+		}
+	}
+	// On a unit lattice, each interior cell's 4 nearest centroids are its
+	// rook neighbors.
+	rook := GridNeighbors(5, 5, 0)
+	center := 12 // (2,2)
+	for _, j := range rook[center] {
+		if !containsInt(adj[center], j) {
+			t.Errorf("KNN(4) of center lacks rook neighbor %d: %v", j, adj[center])
+		}
+	}
+}
+
+func TestDistanceBandAdjacency(t *testing.T) {
+	polys := Lattice(LatticeOptions{Cols: 4, Rows: 1})
+	// Centroids at x = 0.5, 1.5, 2.5, 3.5. Band 1.0 links adjacent cells;
+	// band 2.0 links next-but-one too.
+	adj1 := DistanceBandAdjacency(polys, 1.0)
+	if !equalIntSlices(adj1[0], []int{1}) || !equalIntSlices(adj1[1], []int{0, 2}) {
+		t.Errorf("band 1.0: %v", adj1)
+	}
+	adj2 := DistanceBandAdjacency(polys, 2.0)
+	if !equalIntSlices(adj2[0], []int{1, 2}) {
+		t.Errorf("band 2.0 [0]: %v", adj2[0])
+	}
+	adj0 := DistanceBandAdjacency(polys, 0.5)
+	for i, nbs := range adj0 {
+		if len(nbs) != 0 {
+			t.Errorf("band 0.5 should isolate all areas, got %d: %v", i, nbs)
+		}
+	}
+}
+
+func TestIndexLenAndDegenerate(t *testing.T) {
+	ix := NewIndex([]Point{{1, 1}}, 0)
+	if ix.Len() != 1 {
+		t.Error("Len wrong")
+	}
+	// Identical points: cellSize fallback must not divide by zero.
+	same := NewIndex([]Point{{2, 2}, {2, 2}, {2, 2}}, 0)
+	got := same.Within(Point{2, 2}, 0.1, -1)
+	if len(got) != 3 {
+		t.Errorf("identical points query = %v", got)
+	}
+	if k := same.Nearest(Point{2, 2}, 2, -1); len(k) != 2 {
+		t.Errorf("nearest among identical = %v", k)
+	}
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGrid(b *testing.B, cols, rows int) *Graph {
+	b.Helper()
+	g := New(cols * rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(i, i+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(i, i+cols)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkConnectedSubsetExcluding measures the donor-region validity
+// check, the hottest graph operation in Step 3 and the local search.
+func BenchmarkConnectedSubsetExcluding(b *testing.B) {
+	g := benchGrid(b, 50, 50)
+	members := make([]int, 0, 100)
+	for i := 0; i < 100; i++ {
+		members = append(members, i) // two rows of the grid
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedSubsetExcluding(members, members[i%100])
+	}
+}
+
+// BenchmarkComponents measures component labeling at census scale.
+func BenchmarkComponents(b *testing.B) {
+	g := benchGrid(b, 150, 150) // 22500 vertices
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, count := g.Components(); count != 1 {
+			b.Fatal("bad components")
+		}
+	}
+}
+
+// BenchmarkArticulationPoints measures the Tarjan pass.
+func BenchmarkArticulationPoints(b *testing.B) {
+	g := benchGrid(b, 100, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ArticulationPoints()
+	}
+}
+
+// BenchmarkMinimumSpanningForest measures Kruskal at moderate scale.
+func BenchmarkMinimumSpanningForest(b *testing.B) {
+	g := benchGrid(b, 80, 80)
+	rng := rand.New(rand.NewSource(1))
+	w := make([]float64, g.N())
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	weight := func(u, v int) float64 { return w[u] + w[v] }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if mst := g.MinimumSpanningForest(weight); len(mst) != g.N()-1 {
+			b.Fatal("bad MST")
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package graph provides the contiguity-graph substrate for EMP.
+//
+// A regionalization instance is a graph whose vertices are areas and whose
+// edges encode spatial contiguity. FaCT needs connected components (the
+// EMP formulation, unlike MP-regions, supports multiple components),
+// neighbor queries during region growing, and fast "is this region still
+// connected if we remove this area" checks during swaps and local search.
+package graph
+
+import "fmt"
+
+// Graph is an undirected graph over vertices 0..N-1 stored as adjacency
+// lists. The zero value is an empty graph.
+type Graph struct {
+	adj [][]int
+}
+
+// New creates a graph with n vertices and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// FromAdjacency wraps existing adjacency lists. The lists are used as-is
+// (not copied); they must be symmetric and free of self-loops, which
+// Validate can check.
+func FromAdjacency(adj [][]int) *Graph {
+	return &Graph{adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge (u, v). Duplicate edges and
+// self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The caller must not modify it.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Validate checks that adjacency lists are symmetric, in range, and free of
+// self-loops and duplicates.
+func (g *Graph) Validate() error {
+	n := len(g.adj)
+	for u, nbs := range g.adj {
+		seen := make(map[int]bool, len(nbs))
+		for _, v := range nbs {
+			if v < 0 || v >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("graph: vertex %d has a self-loop", u)
+			}
+			if seen[v] {
+				return fmt.Errorf("graph: vertex %d lists neighbor %d twice", u, v)
+			}
+			seen[v] = true
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("graph: edge %d->%d is not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Components returns the connected components as a component id per vertex
+// plus the number of components. Component ids are dense, assigned in
+// order of lowest-numbered member vertex.
+func (g *Graph) Components() (comp []int, count int) {
+	n := len(g.adj)
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.adj[u] {
+				if comp[v] < 0 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// ComponentMembers groups vertices by component id.
+func (g *Graph) ComponentMembers() [][]int {
+	comp, count := g.Components()
+	members := make([][]int, count)
+	for v, c := range comp {
+		members[c] = append(members[c], v)
+	}
+	return members
+}
+
+// ConnectedSubset reports whether the given vertex subset induces a
+// connected subgraph. The empty subset is vacuously connected. members must
+// contain no duplicates.
+func (g *Graph) ConnectedSubset(members []int) bool {
+	switch len(members) {
+	case 0, 1:
+		return true
+	}
+	in := make(map[int]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	return g.connectedWithin(members[0], in, len(members))
+}
+
+// ConnectedSubsetExcluding reports whether the subset stays connected after
+// removing one member. It is the donor-region validity check used by swap
+// moves: region members minus the removed area must remain a single
+// connected component.
+func (g *Graph) ConnectedSubsetExcluding(members []int, removed int) bool {
+	in := make(map[int]bool, len(members))
+	start := -1
+	for _, v := range members {
+		if v == removed {
+			continue
+		}
+		in[v] = true
+		start = v
+	}
+	if len(in) <= 1 {
+		return true
+	}
+	return g.connectedWithin(start, in, len(in))
+}
+
+// connectedWithin runs a BFS from start restricted to the `in` set and
+// reports whether all `want` vertices are reached.
+func (g *Graph) connectedWithin(start int, in map[int]bool, want int) bool {
+	visited := make(map[int]bool, want)
+	visited[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range g.adj[u] {
+			if in[v] && !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(visited) == want
+}
+
+// ArticulationPoints returns, for the whole graph, the set of vertices whose
+// removal increases the number of connected components (Tarjan lowlink).
+// The result is a boolean per vertex.
+func (g *Graph) ArticulationPoints() []bool {
+	n := len(g.adj)
+	art := make([]bool, n)
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+	// Iterative DFS to avoid deep recursion on path-like graphs.
+	type frame struct {
+		u, idx int
+	}
+	for s := 0; s < n; s++ {
+		if disc[s] != -1 {
+			continue
+		}
+		stack := []frame{{s, 0}}
+		disc[s], low[s] = timer, timer
+		timer++
+		rootChildren := 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.u
+			if f.idx < len(g.adj[u]) {
+				v := g.adj[u][f.idx]
+				f.idx++
+				if disc[v] == -1 {
+					parent[v] = u
+					disc[v], low[v] = timer, timer
+					timer++
+					if u == s {
+						rootChildren++
+					}
+					stack = append(stack, frame{v, 0})
+				} else if v != parent[u] && disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				p := parent[u]
+				if p != -1 {
+					if low[u] < low[p] {
+						low[p] = low[u]
+					}
+					if p != s && low[u] >= disc[p] {
+						art[p] = true
+					}
+				}
+			}
+		}
+		art[s] = rootChildren > 1
+	}
+	return art
+}
+
+// BFSOrder returns vertices in breadth-first order from start, restricted to
+// the subset `within` when non-nil.
+func (g *Graph) BFSOrder(start int, within map[int]bool) []int {
+	if within != nil && !within[start] {
+		return nil
+	}
+	visited := map[int]bool{start: true}
+	order := []int{start}
+	for i := 0; i < len(order); i++ {
+		u := order[i]
+		for _, v := range g.adj[u] {
+			if visited[v] || (within != nil && !within[v]) {
+				continue
+			}
+			visited[v] = true
+			order = append(order, v)
+		}
+	}
+	return order
+}

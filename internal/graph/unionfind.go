@@ -1,0 +1,112 @@
+package graph
+
+import "sort"
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// rank, used by tree-based regionalization (minimum spanning trees) and
+// component bookkeeping.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Find returns the set representative of x.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, reporting whether they were distinct.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+	uf.sets--
+	return true
+}
+
+// Connected reports whether a and b share a set.
+func (uf *UnionFind) Connected(a, b int) bool { return uf.Find(a) == uf.Find(b) }
+
+// Sets returns the number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// WeightedEdge is an undirected edge with a weight, for MST construction.
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// MinimumSpanningForest computes a minimum spanning forest of the graph
+// under the given edge weights (Kruskal). The weight function receives both
+// endpoints. The result lists the chosen edges; for a connected graph it is
+// a spanning tree with N()-1 edges.
+func (g *Graph) MinimumSpanningForest(weight func(u, v int) float64) []WeightedEdge {
+	var edges []WeightedEdge
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				edges = append(edges, WeightedEdge{U: u, V: v, Weight: weight(u, v)})
+			}
+		}
+	}
+	// Sort by weight (stable order by endpoints for determinism).
+	sortEdges(edges)
+	uf := NewUnionFind(g.N())
+	var out []WeightedEdge
+	for _, e := range edges {
+		if uf.Union(e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sortEdges sorts by (weight, U, V) with insertion-free stdlib sort.
+func sortEdges(edges []WeightedEdge) {
+	if len(edges) < 2 {
+		return
+	}
+	// Standard library sort; kept in a helper for the deterministic
+	// comparison definition.
+	sortSlice(edges, func(a, b WeightedEdge) bool {
+		if a.Weight != b.Weight {
+			return a.Weight < b.Weight
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+}
+
+// sortSlice is a tiny generic wrapper over sort.Slice for typed less
+// functions.
+func sortSlice(edges []WeightedEdge, less func(a, b WeightedEdge) bool) {
+	sort.Slice(edges, func(i, j int) bool { return less(edges[i], edges[j]) })
+}

@@ -1,0 +1,120 @@
+package region
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/geom"
+)
+
+// multiPartition builds a partition over a dataset with two dissimilarity
+// attributes.
+func multiPartition(t testing.TB, seed int64) *Partition {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	polys := geom.Lattice(geom.LatticeOptions{Cols: 5, Rows: 4})
+	ds := data.FromPolygons("md", polys, geom.Rook)
+	n := 20
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(rng.Intn(100))
+		b[i] = float64(rng.Intn(1000)) // different scale
+	}
+	if err := ds.AddColumn("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddColumn("B", b); err != nil {
+		t.Fatal(err)
+	}
+	ds.DissimilarityAttrs = []string{"A", "B"}
+	ev, err := constraint.NewEvaluator(constraint.Set{}, ds.Column)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(ds, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMultivariateHeteroInvariants: incremental H under multivariate
+// dissimilarity survives arbitrary valid mutations (Validate recomputes and
+// compares).
+func TestMultivariateHeteroInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := multiPartition(t, seed)
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				ua := p.UnassignedAreas()
+				if len(ua) > 0 {
+					p.NewRegion(ua[rng.Intn(len(ua))])
+				}
+			case 1:
+				ids := p.RegionIDs()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				for _, a := range p.UnassignedAreas() {
+					if p.AdjacentToRegion(a, id) {
+						p.AddArea(id, a)
+						break
+					}
+				}
+			case 2:
+				ids := p.RegionIDs()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				nbs := p.NeighborRegions(id)
+				if len(nbs) > 0 {
+					p.MergeRegions(id, nbs[0])
+				}
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultivariateDeltaMatchesMove: HeteroDeltaMove equals the actual H
+// change under multivariate dissimilarity.
+func TestMultivariateDeltaMatchesMove(t *testing.T) {
+	p := multiPartition(t, 7)
+	var left, right []int
+	for i := 0; i < 20; i++ {
+		if i%5 < 2 {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	r1 := p.NewRegion(left...)
+	r2 := p.NewRegion(right...)
+	border := p.BorderAreasBetween(r1.ID, r2.ID)
+	if len(border) == 0 {
+		t.Fatal("no border")
+	}
+	a := border[0]
+	delta := p.HeteroDeltaMove(a, r2.ID)
+	before := p.Heterogeneity()
+	p.MoveArea(a, r2.ID)
+	after := p.Heterogeneity()
+	if math.Abs((after-before)-delta) > 1e-9 {
+		t.Errorf("delta %g != actual %g", delta, after-before)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}

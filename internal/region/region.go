@@ -1,0 +1,494 @@
+// Package region provides the mutable partition model shared by the FaCT
+// construction phase, the Tabu local search, and the MP-regions baseline:
+// regions with incrementally maintained constraint aggregates, the
+// area-to-region assignment, contiguity checks, and the heterogeneity
+// objective H(P).
+package region
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/graph"
+)
+
+// Region is one output region: a set of areas plus the incremental
+// aggregate state used to validate the user-defined constraints.
+type Region struct {
+	// ID is the region identifier, unique within its Partition.
+	ID int
+	// Members lists the area ids in insertion order.
+	Members []int
+	// Tracker holds the constraint aggregates of the member areas.
+	Tracker *constraint.Tracker
+	// Hetero is the internal heterogeneity: sum of |d_i - d_j| over
+	// member pairs.
+	Hetero float64
+}
+
+// Size returns the number of member areas.
+func (r *Region) Size() int { return len(r.Members) }
+
+// Unassigned marks areas not assigned to any region.
+const Unassigned = -1
+
+// Partition is a mutable assignment of areas to regions over a fixed
+// dataset and constraint evaluator. The zero value is not usable; create
+// with NewPartition.
+type Partition struct {
+	ds      *data.Dataset
+	g       *graph.Graph
+	ev      *constraint.Evaluator
+	dis     [][]float64 // one row per dissimilarity attribute
+	assign  []int
+	regions map[int]*Region
+	nextID  int
+}
+
+// NewPartition creates an empty partition (all areas unassigned) for the
+// dataset under the evaluator's constraint set. The dataset's dissimilarity
+// column drives heterogeneity; it must be configured.
+func NewPartition(ds *data.Dataset, ev *constraint.Evaluator) (*Partition, error) {
+	dis, err := ds.DissimilarityMatrix()
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, ds.N())
+	for i := range assign {
+		assign[i] = Unassigned
+	}
+	return &Partition{
+		ds:      ds,
+		g:       ds.Graph(),
+		ev:      ev,
+		dis:     dis,
+		assign:  assign,
+		regions: make(map[int]*Region),
+		nextID:  1,
+	}, nil
+}
+
+// Dataset returns the underlying dataset.
+func (p *Partition) Dataset() *data.Dataset { return p.ds }
+
+// Graph returns the contiguity graph.
+func (p *Partition) Graph() *graph.Graph { return p.g }
+
+// Evaluator returns the constraint evaluator.
+func (p *Partition) Evaluator() *constraint.Evaluator { return p.ev }
+
+// NumRegions returns p, the number of regions.
+func (p *Partition) NumRegions() int { return len(p.regions) }
+
+// Assignment returns the region id of the area, or Unassigned.
+func (p *Partition) Assignment(area int) int { return p.assign[area] }
+
+// Region returns the region with the given id, or nil.
+func (p *Partition) Region(id int) *Region { return p.regions[id] }
+
+// RegionIDs returns all region ids in ascending order.
+func (p *Partition) RegionIDs() []int {
+	ids := make([]int, 0, len(p.regions))
+	for id := range p.regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Unassigned returns the areas not assigned to any region, ascending.
+func (p *Partition) UnassignedAreas() []int {
+	var out []int
+	for a, r := range p.assign {
+		if r == Unassigned {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// UnassignedCount returns |U0|.
+func (p *Partition) UnassignedCount() int {
+	c := 0
+	for _, r := range p.assign {
+		if r == Unassigned {
+			c++
+		}
+	}
+	return c
+}
+
+// NewRegion creates a region from the given unassigned areas and returns it.
+// It panics if any area is already assigned — callers own that invariant.
+func (p *Partition) NewRegion(areas ...int) *Region {
+	r := &Region{ID: p.nextID, Tracker: p.ev.NewTracker()}
+	p.nextID++
+	p.regions[r.ID] = r
+	for _, a := range areas {
+		p.addAreaTo(r, a)
+	}
+	return r
+}
+
+// AddArea assigns an unassigned area to the region.
+func (p *Partition) AddArea(regionID, area int) {
+	r := p.regions[regionID]
+	if r == nil {
+		panic(fmt.Sprintf("region: AddArea to unknown region %d", regionID))
+	}
+	p.addAreaTo(r, area)
+}
+
+func (p *Partition) addAreaTo(r *Region, area int) {
+	if p.assign[area] != Unassigned {
+		panic(fmt.Sprintf("region: area %d already assigned to region %d", area, p.assign[area]))
+	}
+	r.Hetero += p.sumAbsDiff(area, r.Members)
+	r.Members = append(r.Members, area)
+	r.Tracker.Add(area)
+	p.assign[area] = r.ID
+}
+
+// RemoveArea unassigns an area from its region. Removing the last member
+// deletes the region. Contiguity of the remainder is the caller's concern
+// (see CanRemove).
+func (p *Partition) RemoveArea(area int) {
+	id := p.assign[area]
+	if id == Unassigned {
+		panic(fmt.Sprintf("region: area %d is not assigned", area))
+	}
+	r := p.regions[id]
+	idx := -1
+	for i, a := range r.Members {
+		if a == area {
+			idx = i
+			break
+		}
+	}
+	r.Members[idx] = r.Members[len(r.Members)-1]
+	r.Members = r.Members[:len(r.Members)-1]
+	r.Tracker.Remove(area, r.Members)
+	r.Hetero -= p.sumAbsDiff(area, r.Members)
+	p.assign[area] = Unassigned
+	if len(r.Members) == 0 {
+		delete(p.regions, id)
+	}
+}
+
+// DissolveRegion unassigns every member of the region and deletes it.
+func (p *Partition) DissolveRegion(regionID int) {
+	r := p.regions[regionID]
+	if r == nil {
+		return
+	}
+	for _, a := range r.Members {
+		p.assign[a] = Unassigned
+	}
+	delete(p.regions, regionID)
+}
+
+// MergeRegions folds region srcID into dstID, keeping dstID. The merged
+// region's members, tracker and heterogeneity are updated incrementally.
+func (p *Partition) MergeRegions(dstID, srcID int) {
+	if dstID == srcID {
+		return
+	}
+	dst, src := p.regions[dstID], p.regions[srcID]
+	if dst == nil || src == nil {
+		panic(fmt.Sprintf("region: merge %d <- %d with unknown region", dstID, srcID))
+	}
+	// Cross heterogeneity between the two groups.
+	var cross float64
+	for _, a := range src.Members {
+		cross += p.sumAbsDiff(a, dst.Members)
+	}
+	dst.Hetero += src.Hetero + cross
+	for _, a := range src.Members {
+		p.assign[a] = dstID
+	}
+	dst.Members = append(dst.Members, src.Members...)
+	dst.Tracker.Merge(src.Tracker)
+	delete(p.regions, srcID)
+}
+
+// MoveArea transfers an area from its current region to another existing
+// region, updating aggregates and heterogeneity incrementally. Callers must
+// ensure validity (donor contiguity, constraint satisfaction) beforehand.
+func (p *Partition) MoveArea(area, toRegionID int) {
+	p.RemoveArea(area)
+	p.AddArea(toRegionID, area)
+}
+
+// sumAbsDiff returns the summed pairwise dissimilarity between the area and
+// the members: Σ_m Σ_attr |d_attr(area) − d_attr(m)| (single-attribute H in
+// the common case, Manhattan multivariate otherwise).
+func (p *Partition) sumAbsDiff(area int, members []int) float64 {
+	var s float64
+	for _, row := range p.dis {
+		da := row[area]
+		for _, m := range members {
+			s += math.Abs(da - row[m])
+		}
+	}
+	return s
+}
+
+// Heterogeneity returns H(P): the sum of internal heterogeneity over all
+// regions (Equation 1 of the paper).
+func (p *Partition) Heterogeneity() float64 {
+	var h float64
+	for _, r := range p.regions {
+		h += r.Hetero
+	}
+	return h
+}
+
+// HeteroDeltaMove returns the change in H(P) if area moved from its current
+// region to the target region, without mutating the partition.
+func (p *Partition) HeteroDeltaMove(area, toRegionID int) float64 {
+	from := p.regions[p.assign[area]]
+	to := p.regions[toRegionID]
+	var loss float64
+	for _, row := range p.dis {
+		da := row[area]
+		for _, m := range from.Members {
+			if m != area {
+				loss += math.Abs(da - row[m])
+			}
+		}
+	}
+	gain := p.sumAbsDiff(area, to.Members)
+	return gain - loss
+}
+
+// RegionConnected reports whether the region's members induce a connected
+// subgraph.
+func (p *Partition) RegionConnected(regionID int) bool {
+	r := p.regions[regionID]
+	if r == nil {
+		return false
+	}
+	return p.g.ConnectedSubset(r.Members)
+}
+
+// CanRemove reports whether removing the area keeps its region connected
+// (or empties it). Single-member regions can always lose their member.
+func (p *Partition) CanRemove(area int) bool {
+	id := p.assign[area]
+	if id == Unassigned {
+		return false
+	}
+	r := p.regions[id]
+	return p.g.ConnectedSubsetExcluding(r.Members, area)
+}
+
+// AdjacentToRegion reports whether the area has at least one neighbor in
+// the region.
+func (p *Partition) AdjacentToRegion(area, regionID int) bool {
+	for _, nb := range p.g.Neighbors(area) {
+		if p.assign[nb] == regionID {
+			return true
+		}
+	}
+	return false
+}
+
+// NeighborRegions returns the ids of regions adjacent to the given region
+// (sharing at least one boundary edge), ascending.
+func (p *Partition) NeighborRegions(regionID int) []int {
+	r := p.regions[regionID]
+	if r == nil {
+		return nil
+	}
+	seen := make(map[int]bool)
+	for _, a := range r.Members {
+		for _, nb := range p.g.Neighbors(a) {
+			id := p.assign[nb]
+			if id != Unassigned && id != regionID && !seen[id] {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BoundaryAreas returns the member areas of the region that have at least
+// one neighbor outside it (unassigned or in another region), ascending.
+func (p *Partition) BoundaryAreas(regionID int) []int {
+	r := p.regions[regionID]
+	if r == nil {
+		return nil
+	}
+	var out []int
+	for _, a := range r.Members {
+		for _, nb := range p.g.Neighbors(a) {
+			if p.assign[nb] != regionID {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BorderAreasBetween returns areas of region fromID adjacent to region toID,
+// ascending — the swap candidates of Step 3 and the Tabu phase.
+func (p *Partition) BorderAreasBetween(fromID, toID int) []int {
+	r := p.regions[fromID]
+	if r == nil {
+		return nil
+	}
+	var out []int
+	for _, a := range r.Members {
+		if p.AdjacentToRegion(a, toID) {
+			out = append(out, a)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MoveValid reports whether moving the area to the target region keeps the
+// solution feasible: the donor region keeps more than one member (so p is
+// unchanged), stays contiguous and satisfies every constraint after the
+// removal, the area is adjacent to the target region, and the target
+// satisfies every constraint after the addition.
+func (p *Partition) MoveValid(area, toRegionID int) bool {
+	fromID := p.assign[area]
+	if fromID == Unassigned || fromID == toRegionID {
+		return false
+	}
+	to := p.regions[toRegionID]
+	if to == nil {
+		return false
+	}
+	from := p.regions[fromID]
+	if len(from.Members) <= 1 {
+		return false
+	}
+	if !p.AdjacentToRegion(area, toRegionID) {
+		return false
+	}
+	if !p.g.ConnectedSubsetExcluding(from.Members, area) {
+		return false
+	}
+	if !from.Tracker.SatisfiedAllAfterRemove(area, from.Members) {
+		return false
+	}
+	return to.Tracker.SatisfiedAllAfterAdd(area)
+}
+
+// AllSatisfied reports whether every region satisfies every constraint.
+func (p *Partition) AllSatisfied() bool {
+	for _, r := range p.regions {
+		if !r.Tracker.SatisfiedAll() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the partition sharing the immutable dataset,
+// graph and evaluator.
+func (p *Partition) Clone() *Partition {
+	c := &Partition{
+		ds:      p.ds,
+		g:       p.g,
+		ev:      p.ev,
+		dis:     p.dis,
+		assign:  append([]int(nil), p.assign...),
+		regions: make(map[int]*Region, len(p.regions)),
+		nextID:  p.nextID,
+	}
+	for id, r := range p.regions {
+		c.regions[id] = &Region{
+			ID:      r.ID,
+			Members: append([]int(nil), r.Members...),
+			Tracker: r.Tracker.Clone(),
+			Hetero:  r.Hetero,
+		}
+	}
+	return c
+}
+
+// Validate checks all partition invariants; it is meant for tests and
+// debugging, not hot paths:
+//   - assignment vector and region member lists agree,
+//   - regions are disjoint and non-empty,
+//   - every region is spatially contiguous,
+//   - trackers and heterogeneity match naive recomputation.
+func (p *Partition) Validate() error {
+	seen := make(map[int]int) // area -> region id
+	for id, r := range p.regions {
+		if id != r.ID {
+			return fmt.Errorf("region: map key %d != region id %d", id, r.ID)
+		}
+		if len(r.Members) == 0 {
+			return fmt.Errorf("region: region %d is empty", id)
+		}
+		for _, a := range r.Members {
+			if prev, dup := seen[a]; dup {
+				return fmt.Errorf("region: area %d in regions %d and %d", a, prev, id)
+			}
+			seen[a] = id
+			if p.assign[a] != id {
+				return fmt.Errorf("region: area %d assigned to %d but in region %d members", a, p.assign[a], id)
+			}
+		}
+		if !p.g.ConnectedSubset(r.Members) {
+			return fmt.Errorf("region: region %d is not contiguous", id)
+		}
+		want := p.ev.Compute(r.Members)
+		for i := 0; i < p.ev.Len(); i++ {
+			got, exp := r.Tracker.Value(i), want.Value(i)
+			if math.Abs(got-exp) > 1e-6 && !(math.IsNaN(got) && math.IsNaN(exp)) {
+				return fmt.Errorf("region: region %d constraint %d tracker %g != recompute %g", id, i, got, exp)
+			}
+		}
+		var h float64
+		for _, row := range p.dis {
+			for i := 0; i < len(r.Members); i++ {
+				for j := i + 1; j < len(r.Members); j++ {
+					h += math.Abs(row[r.Members[i]] - row[r.Members[j]])
+				}
+			}
+		}
+		if math.Abs(h-r.Hetero) > 1e-6*(1+math.Abs(h)) {
+			return fmt.Errorf("region: region %d heterogeneity %g != recompute %g", id, r.Hetero, h)
+		}
+	}
+	for a, id := range p.assign {
+		if id == Unassigned {
+			continue
+		}
+		if got, ok := seen[a]; !ok || got != id {
+			return fmt.Errorf("region: area %d assigned to %d but not a member", a, id)
+		}
+	}
+	return nil
+}
+
+// Summary captures the headline numbers of a solution.
+type Summary struct {
+	P             int
+	UnassignedLen int
+	Heterogeneity float64
+}
+
+// Summarize returns the partition's summary.
+func (p *Partition) Summarize() Summary {
+	return Summary{
+		P:             p.NumRegions(),
+		UnassignedLen: p.UnassignedCount(),
+		Heterogeneity: p.Heterogeneity(),
+	}
+}

@@ -1,0 +1,142 @@
+// Package render draws regionalization solutions as standalone SVG images:
+// each area polygon is filled by its region's color, unassigned areas are
+// hatched gray. No external graphics dependencies.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"emp/internal/data"
+	"emp/internal/geom"
+)
+
+// Options controls the SVG output.
+type Options struct {
+	// Width is the image width in pixels; height follows the aspect
+	// ratio. 0 means 800.
+	Width int
+	// StrokeWidth is the polygon outline width in user units; 0 means a
+	// hairline scaled to the image.
+	StrokeWidth float64
+	// Background is a CSS color; empty means white.
+	Background string
+}
+
+// SVG writes the dataset's polygons colored by assignment (region index per
+// area, -1 = unassigned).
+func SVG(w io.Writer, ds *data.Dataset, assignment []int, opt Options) error {
+	if ds.Polygons == nil {
+		return fmt.Errorf("render: dataset %q has no polygons", ds.Name)
+	}
+	if len(assignment) != ds.N() {
+		return fmt.Errorf("render: assignment has %d entries for %d areas", len(assignment), ds.N())
+	}
+	width := opt.Width
+	if width <= 0 {
+		width = 800
+	}
+	box := geom.EmptyBBox()
+	for _, pg := range ds.Polygons {
+		for _, p := range pg.Outer {
+			box.Extend(p)
+		}
+	}
+	if box.Empty() {
+		return fmt.Errorf("render: empty geometry")
+	}
+	scale := float64(width) / box.Width()
+	height := int(math.Ceil(box.Height() * scale))
+	if height < 1 {
+		height = 1
+	}
+	stroke := opt.StrokeWidth
+	if stroke <= 0 {
+		stroke = math.Max(0.5, float64(width)/1600)
+	}
+	bg := opt.Background
+	if bg == "" {
+		bg = "#ffffff"
+	}
+
+	// Count regions to build the palette.
+	maxRegion := -1
+	for _, r := range assignment {
+		if r > maxRegion {
+			maxRegion = r
+		}
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, bg)
+	for i, pg := range ds.Polygons {
+		if len(pg.Outer) < 3 {
+			continue
+		}
+		fill := "#d9d9d9" // unassigned
+		if r := assignment[i]; r >= 0 {
+			fill = regionColor(r, maxRegion+1)
+		}
+		fmt.Fprintf(w, `<polygon points="`)
+		for j, p := range pg.Outer {
+			if j > 0 {
+				io.WriteString(w, " ")
+			}
+			// Flip Y: SVG's origin is top-left.
+			fmt.Fprintf(w, "%.2f,%.2f", (p.X-box.MinX)*scale, (box.MaxY-p.Y)*scale)
+		}
+		fmt.Fprintf(w, `" fill="%s" stroke="#333333" stroke-width="%.2f"/>`+"\n", fill, stroke)
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// regionColor assigns visually distinct colors by spreading hues with the
+// golden-angle sequence and alternating lightness, so adjacent region
+// indices rarely collide.
+func regionColor(idx, total int) string {
+	_ = total
+	hue := math.Mod(float64(idx)*137.50776405, 360)
+	light := 55
+	if idx%2 == 1 {
+		light = 70
+	}
+	r, g, b := hslToRGB(hue, 0.65, float64(light)/100)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// hslToRGB converts HSL (h in degrees, s and l in [0,1]) to 8-bit RGB.
+func hslToRGB(h, s, l float64) (uint8, uint8, uint8) {
+	c := (1 - math.Abs(2*l-1)) * s
+	hp := h / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var r, g, b float64
+	switch {
+	case hp < 1:
+		r, g, b = c, x, 0
+	case hp < 2:
+		r, g, b = x, c, 0
+	case hp < 3:
+		r, g, b = 0, c, x
+	case hp < 4:
+		r, g, b = 0, x, c
+	case hp < 5:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	m := l - c/2
+	to8 := func(v float64) uint8 {
+		u := int(math.Round((v + m) * 255))
+		if u < 0 {
+			u = 0
+		}
+		if u > 255 {
+			u = 255
+		}
+		return uint8(u)
+	}
+	return to8(r), to8(g), to8(b)
+}

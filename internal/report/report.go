@@ -1,0 +1,176 @@
+// Package report summarizes regionalization solutions: per-region
+// constraint aggregates, sizes, heterogeneity contributions and compactness,
+// as text tables or CSV. The paper notes that "FaCT algorithm reports output
+// statistics to users so they are equipped with information about the impact
+// of different threshold ranges" — this package is that reporting layer.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"emp/internal/region"
+	"emp/internal/tabu"
+)
+
+// RegionRow is one region's statistics.
+type RegionRow struct {
+	// Index is the dense region index (0-based, ordered by region id).
+	Index int
+	// Size is the number of member areas.
+	Size int
+	// Aggregates holds the value of each constraint, in constraint order.
+	Aggregates []float64
+	// Satisfied reports whether every constraint holds.
+	Satisfied bool
+	// Hetero is the region's internal heterogeneity.
+	Hetero float64
+	// Compactness is the centroid dispersion (0 when no polygons).
+	Compactness float64
+}
+
+// Report is a full solution summary.
+type Report struct {
+	// Dataset and P identify the solution.
+	Dataset string
+	P       int
+	// Unassigned is |U0|.
+	Unassigned int
+	// Heterogeneity is H(P).
+	Heterogeneity float64
+	// ConstraintNames labels the aggregate columns.
+	ConstraintNames []string
+	// Regions holds one row per region.
+	Regions []RegionRow
+}
+
+// New builds a report from a partition.
+func New(p *region.Partition) *Report {
+	ev := p.Evaluator()
+	names := make([]string, ev.Len())
+	for i := 0; i < ev.Len(); i++ {
+		names[i] = ev.At(i).String()
+	}
+	r := &Report{
+		Dataset:         p.Dataset().Name,
+		P:               p.NumRegions(),
+		Unassigned:      p.UnassignedCount(),
+		Heterogeneity:   p.Heterogeneity(),
+		ConstraintNames: names,
+	}
+	var comp *tabu.Compactness
+	if p.Dataset().Polygons != nil {
+		comp = tabu.NewCompactness(p.Dataset().Polygons)
+	}
+	for idx, id := range p.RegionIDs() {
+		reg := p.Region(id)
+		row := RegionRow{
+			Index:      idx,
+			Size:       reg.Size(),
+			Aggregates: make([]float64, ev.Len()),
+			Satisfied:  reg.Tracker.SatisfiedAll(),
+			Hetero:     reg.Hetero,
+		}
+		for i := 0; i < ev.Len(); i++ {
+			row.Aggregates[i] = reg.Tracker.Value(i)
+		}
+		if comp != nil {
+			row.Compactness = compactnessOf(comp, reg.Members)
+		}
+		r.Regions = append(r.Regions, row)
+	}
+	return r
+}
+
+// compactnessOf computes the centroid dispersion Σ|x−μ|² of one region.
+func compactnessOf(c *tabu.Compactness, members []int) float64 {
+	var sx, sy, sq float64
+	for _, a := range members {
+		p := c.Centroids[a]
+		sx += p.X
+		sy += p.Y
+		sq += p.X*p.X + p.Y*p.Y
+	}
+	n := float64(len(members))
+	if n == 0 {
+		return 0
+	}
+	return sq - (sx*sx+sy*sy)/n
+}
+
+// SizeDistribution returns region size quantile labels for the summary.
+func (r *Report) SizeDistribution() (min, median, max int) {
+	if len(r.Regions) == 0 {
+		return 0, 0, 0
+	}
+	sizes := make([]int, len(r.Regions))
+	for i, row := range r.Regions {
+		sizes[i] = row.Size
+	}
+	sort.Ints(sizes)
+	return sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
+}
+
+// Render writes the report as aligned text. maxRows truncates the region
+// table (0 = all).
+func (r *Report) Render(w io.Writer, maxRows int) error {
+	fmt.Fprintf(w, "solution: dataset=%s p=%d unassigned=%d H=%.6g\n",
+		r.Dataset, r.P, r.Unassigned, r.Heterogeneity)
+	mn, md, mx := r.SizeDistribution()
+	fmt.Fprintf(w, "region sizes: min=%d median=%d max=%d\n", mn, md, mx)
+	header := append([]string{"region", "size", "ok", "hetero", "compact"}, r.ConstraintNames...)
+	fmt.Fprintln(w, strings.Join(header, "  "))
+	rows := r.Regions
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	for _, row := range rows {
+		cells := []string{
+			strconv.Itoa(row.Index),
+			strconv.Itoa(row.Size),
+			map[bool]string{true: "yes", false: "NO"}[row.Satisfied],
+			fmt.Sprintf("%.4g", row.Hetero),
+			fmt.Sprintf("%.4g", row.Compactness),
+		}
+		for _, v := range row.Aggregates {
+			cells = append(cells, fmt.Sprintf("%.4g", v))
+		}
+		fmt.Fprintln(w, strings.Join(cells, "  "))
+	}
+	if truncated > 0 {
+		fmt.Fprintf(w, "... (%d more regions)\n", truncated)
+	}
+	return nil
+}
+
+// WriteCSV emits the region table as CSV.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"region", "size", "satisfied", "hetero", "compactness"}, r.ConstraintNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Regions {
+		cells := []string{
+			strconv.Itoa(row.Index),
+			strconv.Itoa(row.Size),
+			strconv.FormatBool(row.Satisfied),
+			strconv.FormatFloat(row.Hetero, 'g', -1, 64),
+			strconv.FormatFloat(row.Compactness, 'g', -1, 64),
+		}
+		for _, v := range row.Aggregates {
+			cells = append(cells, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/fact"
+)
+
+func solved(t *testing.T) *Report {
+	t.Helper()
+	ds, err := census.Scaled("1k", 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := constraint.Set{
+		constraint.AtLeast(constraint.Sum, census.AttrTotalPop, 25000),
+		constraint.AtMost(constraint.Count, "", 40),
+	}
+	res, err := fact.Solve(ds, set, fact.Config{Seed: 1, SkipLocalSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(res.Partition)
+}
+
+func TestReportContents(t *testing.T) {
+	r := solved(t)
+	if r.P != len(r.Regions) || r.P == 0 {
+		t.Fatalf("p=%d rows=%d", r.P, len(r.Regions))
+	}
+	if len(r.ConstraintNames) != 2 {
+		t.Fatalf("constraint names = %v", r.ConstraintNames)
+	}
+	for _, row := range r.Regions {
+		if !row.Satisfied {
+			t.Errorf("region %d unsatisfied in final solution", row.Index)
+		}
+		if row.Aggregates[0] < 25000 {
+			t.Errorf("region %d SUM = %g < 25000", row.Index, row.Aggregates[0])
+		}
+		if row.Size <= 0 || row.Size > 40 {
+			t.Errorf("region %d size %d", row.Index, row.Size)
+		}
+		if row.Compactness < 0 {
+			t.Errorf("region %d negative compactness", row.Index)
+		}
+	}
+	mn, md, mx := r.SizeDistribution()
+	if mn > md || md > mx {
+		t.Errorf("size distribution out of order: %d %d %d", mn, md, mx)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	r := solved(t)
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "solution: dataset=1k") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+	if r.P > 3 && !strings.Contains(out, "more regions") {
+		t.Error("truncation note missing")
+	}
+
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != r.P+1 {
+		t.Errorf("csv rows = %d, want %d", len(records), r.P+1)
+	}
+	if records[0][0] != "region" || len(records[0]) != 5+len(r.ConstraintNames) {
+		t.Errorf("csv header = %v", records[0])
+	}
+}
+
+func TestEmptySizeDistribution(t *testing.T) {
+	r := &Report{}
+	mn, md, mx := r.SizeDistribution()
+	if mn != 0 || md != 0 || mx != 0 {
+		t.Error("empty distribution should be zeros")
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package server exposes EMP regionalization as a small JSON-over-HTTP
+// service: POST a dataset (inline or by synthetic name) plus a constraint
+// query, get back the regions, the feasibility report and solver timings.
+// Useful for hosting the solver behind data-analysis frontends.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/fact"
+	"emp/internal/region"
+)
+
+// SolveRequest is the POST /solve body.
+type SolveRequest struct {
+	// Dataset embeds a full dataset document (same schema as the JSON
+	// files written by the library). Mutually exclusive with Named.
+	Dataset json.RawMessage `json:"dataset,omitempty"`
+	// Named selects a synthetic dataset ("1k".."50k").
+	Named string `json:"named,omitempty"`
+	// Scale shrinks a named dataset (0 < scale <= 1; 0 = 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Constraints is the SQL-ish constraint list, semicolon separated.
+	Constraints string `json:"constraints"`
+	// Options tunes the solver.
+	Options SolveOptions `json:"options"`
+}
+
+// SolveOptions mirrors the fact.Config knobs exposed over HTTP.
+type SolveOptions struct {
+	Iterations      int    `json:"iterations,omitempty"`
+	MergeLimit      int    `json:"merge_limit,omitempty"`
+	TabuLength      int    `json:"tabu_length,omitempty"`
+	MaxNoImprove    int    `json:"max_no_improve,omitempty"`
+	SkipLocalSearch bool   `json:"skip_local_search,omitempty"`
+	LocalSearch     string `json:"local_search,omitempty"` // "tabu" | "anneal"
+	Seed            int64  `json:"seed,omitempty"`
+	Parallelism     int    `json:"parallelism,omitempty"`
+}
+
+// SolveResponse is the POST /solve result.
+type SolveResponse struct {
+	P                  int      `json:"p"`
+	Unassigned         int      `json:"unassigned"`
+	HeteroBefore       float64  `json:"hetero_before"`
+	HeteroAfter        float64  `json:"hetero_after"`
+	HeteroImprovement  float64  `json:"hetero_improvement"`
+	Assignment         []int    `json:"assignment"`
+	ConstructionMillis float64  `json:"construction_ms"`
+	LocalSearchMillis  float64  `json:"local_search_ms"`
+	TabuMoves          int      `json:"tabu_moves"`
+	InvalidAreas       int      `json:"invalid_areas"`
+	SeedAreas          int      `json:"seed_areas"`
+	Warnings           []string `json:"warnings,omitempty"`
+}
+
+// errorBody is the JSON error payload.
+type errorBody struct {
+	Error   string   `json:"error"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Handler returns the service's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/datasets", handleDatasets)
+	mux.HandleFunc("/solve", handleSolve)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	type entry struct {
+		Name       string `json:"name"`
+		Areas      int    `json:"areas"`
+		States     int    `json:"states"`
+		Components int    `json:"components"`
+	}
+	var out []entry
+	for _, name := range census.SizeNames() {
+		sz := census.Sizes[name]
+		out = append(out, entry{name, sz.Areas, sz.States, sz.Components})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	ds, err := datasetFor(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	set, err := constraint.ParseSet(req.Constraints)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if len(set) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "no constraints given"})
+		return
+	}
+	cfg := fact.Config{
+		Iterations:      req.Options.Iterations,
+		MergeLimit:      req.Options.MergeLimit,
+		TabuLength:      req.Options.TabuLength,
+		MaxNoImprove:    req.Options.MaxNoImprove,
+		SkipLocalSearch: req.Options.SkipLocalSearch,
+		Seed:            req.Options.Seed,
+		Parallelism:     req.Options.Parallelism,
+	}
+	switch req.Options.LocalSearch {
+	case "", "tabu":
+	case "anneal":
+		cfg.LocalSearch = fact.LocalSearchAnneal
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown local_search %q", req.Options.LocalSearch)})
+		return
+	}
+
+	res, err := fact.Solve(ds, set, cfg)
+	if err != nil {
+		if errors.Is(err, fact.ErrInfeasible) {
+			writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+				Error:   "infeasible",
+				Reasons: res.Feasibility.Reasons,
+			})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, buildResponse(res))
+}
+
+func buildResponse(res *fact.Result) SolveResponse {
+	p := res.Partition
+	idx := make(map[int]int)
+	for i, id := range p.RegionIDs() {
+		idx[id] = i
+	}
+	assign := make([]int, p.Dataset().N())
+	for a := range assign {
+		id := p.Assignment(a)
+		if id == region.Unassigned {
+			assign[a] = -1
+		} else {
+			assign[a] = idx[id]
+		}
+	}
+	return SolveResponse{
+		P:                  res.P,
+		Unassigned:         res.Unassigned,
+		HeteroBefore:       res.HeteroBefore,
+		HeteroAfter:        res.HeteroAfter,
+		HeteroImprovement:  res.HeteroImprovement(),
+		Assignment:         assign,
+		ConstructionMillis: float64(res.ConstructionTime.Microseconds()) / 1000,
+		LocalSearchMillis:  float64(res.LocalSearchTime.Microseconds()) / 1000,
+		TabuMoves:          res.TabuMoves,
+		InvalidAreas:       res.Feasibility.InvalidCount,
+		SeedAreas:          res.Feasibility.SeedCount,
+		Warnings:           res.Feasibility.Warnings,
+	}
+}
+
+func datasetFor(req *SolveRequest) (*data.Dataset, error) {
+	switch {
+	case req.Dataset != nil && req.Named != "":
+		return nil, fmt.Errorf("dataset and named are mutually exclusive")
+	case req.Dataset != nil:
+		return data.ReadJSON(bytes.NewReader(req.Dataset))
+	case req.Named != "":
+		if req.Scale > 0 && req.Scale < 1 {
+			return census.Scaled(req.Named, req.Scale, seedOr1(req.Options.Seed))
+		}
+		return census.NamedSeeded(req.Named, seedOr1(req.Options.Seed))
+	default:
+		return nil, fmt.Errorf("one of dataset or named is required")
+	}
+}
+
+func seedOr1(seed int64) int64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"emp/internal/census"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]json.RawMessage) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]json.RawMessage
+	if rec.Body.Len() > 0 && rec.Body.Bytes()[0] == '{' {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON response: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+func TestHealth(t *testing.T) {
+	rec, out := doJSON(t, Handler(), http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if string(out["status"]) != `"ok"` {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	rec, _ := doJSON(t, Handler(), http.MethodGet, "/datasets", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var entries []map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Errorf("got %d datasets", len(entries))
+	}
+	rec, _ = doJSON(t, Handler(), http.MethodPost, "/datasets", "")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /datasets status = %d", rec.Code)
+	}
+}
+
+func TestSolveNamed(t *testing.T) {
+	body := `{"named":"1k","scale":0.1,"constraints":"SUM(TOTALPOP) >= 20000","options":{"seed":1,"skip_local_search":true}}`
+	rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.P < 1 {
+		t.Errorf("p = %d", resp.P)
+	}
+	if len(resp.Assignment) != 101 {
+		t.Errorf("assignment length = %d", len(resp.Assignment))
+	}
+	if resp.SeedAreas <= 0 {
+		t.Error("seed areas missing")
+	}
+}
+
+func TestSolveInlineDataset(t *testing.T) {
+	ds, err := census.Generate(census.Options{Name: "inline", Areas: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dsBuf bytes.Buffer
+	if err := ds.WriteJSON(&dsBuf); err != nil {
+		t.Fatal(err)
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"dataset":     json.RawMessage(dsBuf.Bytes()),
+		"constraints": "SUM(TOTALPOP) >= 15000; COUNT(*) <= 20",
+		"options":     map[string]interface{}{"seed": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", string(reqBody))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Assignment) != 60 {
+		t.Errorf("assignment length = %d", len(resp.Assignment))
+	}
+}
+
+func TestSolveAnnealOption(t *testing.T) {
+	body := `{"named":"1k","scale":0.08,"constraints":"SUM(TOTALPOP) >= 25000","options":{"seed":1,"local_search":"anneal"}}`
+	rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSolveParallelIterations(t *testing.T) {
+	body := `{"named":"1k","scale":0.08,"constraints":"SUM(TOTALPOP) >= 25000",
+	  "options":{"seed":1,"iterations":3,"parallelism":3,"skip_local_search":true}}`
+	rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	// Must match the sequential run exactly.
+	seq := `{"named":"1k","scale":0.08,"constraints":"SUM(TOTALPOP) >= 25000",
+	  "options":{"seed":1,"iterations":3,"skip_local_search":true}}`
+	rec2, _ := doJSON(t, Handler(), http.MethodPost, "/solve", seq)
+	var a, b SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rec2.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.P != b.P || a.HeteroAfter != b.HeteroAfter {
+		t.Errorf("parallel result differs: %d/%g vs %d/%g", a.P, a.HeteroAfter, b.P, b.HeteroAfter)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	body := `{"named":"1k","scale":0.08,"constraints":"SUM(TOTALPOP) >= 1000000000"}`
+	rec, out := doJSON(t, Handler(), http.MethodPost, "/solve", body)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if string(out["error"]) != `"infeasible"` {
+		t.Errorf("error = %s", out["error"])
+	}
+	var reasons []string
+	if err := json.Unmarshal(out["reasons"], &reasons); err != nil || len(reasons) == 0 {
+		t.Error("reasons missing")
+	}
+}
+
+func TestSolveBadRequests(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"no dataset", `{"constraints":"SUM(TOTALPOP) >= 1"}`},
+		{"both sources", `{"named":"1k","dataset":{},"constraints":"SUM(TOTALPOP) >= 1"}`},
+		{"unknown named", `{"named":"3k","constraints":"SUM(TOTALPOP) >= 1"}`},
+		{"bad constraints", `{"named":"1k","scale":0.05,"constraints":"MEDIAN(X) > 1"}`},
+		{"empty constraints", `{"named":"1k","scale":0.05,"constraints":"  "}`},
+		{"unknown attribute", `{"named":"1k","scale":0.05,"constraints":"SUM(GHOST) >= 1"}`},
+		{"bad local search", `{"named":"1k","scale":0.05,"constraints":"SUM(TOTALPOP) >= 1","options":{"local_search":"genetic"}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("status = %d: %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+	rec, _ := doJSON(t, Handler(), http.MethodGet, "/solve", "")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,146 @@
+package shapefile
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emp/internal/data"
+	"emp/internal/geom"
+)
+
+// LoadOptions configures shapefile-to-dataset conversion.
+type LoadOptions struct {
+	// Name labels the dataset; empty means the base path.
+	Name string
+	// Attributes selects the numeric .dbf columns to load; nil loads
+	// every numeric (N/F) column.
+	Attributes []string
+	// Dissimilarity names the heterogeneity attribute; empty leaves it
+	// unset.
+	Dissimilarity string
+	// Contiguity selects the adjacency rule (default rook).
+	Contiguity geom.Contiguity
+}
+
+// LoadDataset reads base+".shp" and base+".dbf" and builds a dataset with
+// geometric contiguity. Records with Null/empty geometry are dropped (with
+// their attribute rows) since they cannot participate in contiguity.
+func LoadDataset(base string, opt LoadOptions) (*data.Dataset, error) {
+	shpF, err := os.Open(base + ".shp")
+	if err != nil {
+		return nil, err
+	}
+	defer shpF.Close()
+	polys, err := ReadSHP(shpF)
+	if err != nil {
+		return nil, err
+	}
+	dbfF, err := os.Open(base + ".dbf")
+	if err != nil {
+		return nil, err
+	}
+	defer dbfF.Close()
+	table, err := ReadDBF(dbfF)
+	if err != nil {
+		return nil, err
+	}
+	return BuildDataset(base, polys, table, opt)
+}
+
+// BuildDataset combines parsed geometry and attributes into a dataset.
+func BuildDataset(base string, polys []geom.Polygon, table *Table, opt LoadOptions) (*data.Dataset, error) {
+	if len(polys) != len(table.Records) {
+		return nil, fmt.Errorf("shapefile: %d shapes but %d attribute rows", len(polys), len(table.Records))
+	}
+	name := opt.Name
+	if name == "" {
+		name = base
+	}
+	// Drop records with no geometry.
+	keep := make([]int, 0, len(polys))
+	for i, pg := range polys {
+		if len(pg.Outer) >= 3 {
+			keep = append(keep, i)
+		}
+	}
+	kept := make([]geom.Polygon, len(keep))
+	for j, i := range keep {
+		kept[j] = polys[i]
+	}
+	ds := data.FromPolygons(name, kept, opt.Contiguity)
+
+	attrs := opt.Attributes
+	if attrs == nil {
+		for _, f := range table.Fields {
+			if f.Type == 'N' || f.Type == 'F' {
+				attrs = append(attrs, f.Name)
+			}
+		}
+	}
+	for _, attr := range attrs {
+		col, err := table.NumericColumn(attr)
+		if err != nil {
+			return nil, err
+		}
+		sub := make([]float64, len(keep))
+		for j, i := range keep {
+			sub[j] = col[i]
+		}
+		if err := ds.AddColumn(strings.ToUpper(attr), sub); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Dissimilarity != "" {
+		ds.Dissimilarity = strings.ToUpper(opt.Dissimilarity)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// SaveDataset writes the dataset's polygons and attribute columns as
+// base+".shp" and base+".dbf", enabling round trips into GIS tools.
+func SaveDataset(ds *data.Dataset, base string) error {
+	if ds.Polygons == nil {
+		return fmt.Errorf("shapefile: dataset %q has no polygons", ds.Name)
+	}
+	shpF, err := os.Create(base + ".shp")
+	if err != nil {
+		return err
+	}
+	defer shpF.Close()
+	if err := WriteSHP(shpF, ds.Polygons); err != nil {
+		return err
+	}
+	if err := shpF.Close(); err != nil {
+		return err
+	}
+
+	table := &Table{}
+	for _, attr := range ds.AttrNames {
+		name := attr
+		if len(name) > 10 {
+			name = name[:10]
+		}
+		table.Fields = append(table.Fields, Field{Name: name, Type: 'N', Length: 18, Decimals: 4})
+	}
+	for i := 0; i < ds.N(); i++ {
+		row := make([]string, len(ds.Cols))
+		for c := range ds.Cols {
+			row[c] = strconv.FormatFloat(ds.Cols[c][i], 'f', 4, 64)
+		}
+		table.Records = append(table.Records, row)
+	}
+	dbfF, err := os.Create(base + ".dbf")
+	if err != nil {
+		return err
+	}
+	defer dbfF.Close()
+	if err := WriteDBF(dbfF, table); err != nil {
+		return err
+	}
+	return dbfF.Close()
+}

@@ -1,0 +1,204 @@
+package shapefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// dBase III constants.
+const (
+	dbfVersion      = 0x03
+	dbfHeaderTermin = 0x0D
+	dbfFieldDescLen = 32
+	dbfHeaderBase   = 32
+)
+
+// Field describes one .dbf column.
+type Field struct {
+	// Name is the column name (max 10 bytes in the file format).
+	Name string
+	// Type is the dBase type code: 'N' numeric, 'F' float, 'C' character.
+	Type byte
+	// Length is the byte width of the field in each record.
+	Length int
+	// Decimals is the decimal count for numeric fields.
+	Decimals int
+}
+
+// Table is an in-memory .dbf attribute table.
+type Table struct {
+	Fields  []Field
+	Records [][]string // raw trimmed values, one row per record
+}
+
+// NumericColumn converts the named column to float64s. Unparsable or empty
+// cells become 0 (dBase files commonly blank-fill missing numerics).
+func (t *Table) NumericColumn(name string) ([]float64, error) {
+	idx := -1
+	for i, f := range t.Fields {
+		if strings.EqualFold(f.Name, name) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("shapefile: dbf has no column %q", name)
+	}
+	out := make([]float64, len(t.Records))
+	for r, rec := range t.Records {
+		s := strings.TrimSpace(rec[idx])
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("shapefile: dbf %s row %d: bad numeric %q", name, r, s)
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// FieldNames lists the column names in file order.
+func (t *Table) FieldNames() []string {
+	names := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// ReadDBF parses a dBase III (.dbf) attribute table.
+func ReadDBF(r io.Reader) (*Table, error) {
+	head := make([]byte, dbfHeaderBase)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("shapefile: dbf header: %w", err)
+	}
+	if head[0] != dbfVersion {
+		return nil, fmt.Errorf("shapefile: unsupported dbf version 0x%02x", head[0])
+	}
+	numRecords := int(binary.LittleEndian.Uint32(head[4:8]))
+	headerSize := int(binary.LittleEndian.Uint16(head[8:10]))
+	recordSize := int(binary.LittleEndian.Uint16(head[10:12]))
+	if headerSize < dbfHeaderBase+1 || recordSize < 1 {
+		return nil, fmt.Errorf("shapefile: dbf sizes header=%d record=%d invalid", headerSize, recordSize)
+	}
+
+	descLen := headerSize - dbfHeaderBase
+	desc := make([]byte, descLen)
+	if _, err := io.ReadFull(r, desc); err != nil {
+		return nil, fmt.Errorf("shapefile: dbf field descriptors: %w", err)
+	}
+	var fields []Field
+	sum := 1 // deletion flag byte
+	for off := 0; off+dbfFieldDescLen <= descLen && desc[off] != dbfHeaderTermin; off += dbfFieldDescLen {
+		d := desc[off : off+dbfFieldDescLen]
+		name := strings.TrimRight(string(d[0:11]), "\x00")
+		f := Field{
+			Name:     name,
+			Type:     d[11],
+			Length:   int(d[16]),
+			Decimals: int(d[17]),
+		}
+		if f.Length <= 0 {
+			return nil, fmt.Errorf("shapefile: dbf field %q has length %d", name, f.Length)
+		}
+		fields = append(fields, f)
+		sum += f.Length
+	}
+	if sum != recordSize {
+		return nil, fmt.Errorf("shapefile: dbf field lengths total %d but record size is %d", sum, recordSize)
+	}
+
+	t := &Table{Fields: fields}
+	rec := make([]byte, recordSize)
+	for i := 0; i < numRecords; i++ {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("shapefile: dbf record %d: %w", i, err)
+		}
+		if rec[0] == '*' {
+			continue // deleted record
+		}
+		row := make([]string, len(fields))
+		off := 1
+		for j, f := range fields {
+			row[j] = strings.TrimSpace(string(rec[off : off+f.Length]))
+			off += f.Length
+		}
+		t.Records = append(t.Records, row)
+	}
+	return t, nil
+}
+
+// WriteDBF encodes a dBase III table. Field names are truncated to 10
+// bytes; values are space-padded/truncated to the field length.
+func WriteDBF(w io.Writer, t *Table) error {
+	for _, f := range t.Fields {
+		if f.Length <= 0 || f.Length > 254 {
+			return fmt.Errorf("shapefile: dbf field %q length %d out of range", f.Name, f.Length)
+		}
+	}
+	headerSize := dbfHeaderBase + dbfFieldDescLen*len(t.Fields) + 1
+	recordSize := 1
+	for _, f := range t.Fields {
+		recordSize += f.Length
+	}
+	head := make([]byte, dbfHeaderBase)
+	head[0] = dbfVersion
+	head[1], head[2], head[3] = 95, 7, 26 // arbitrary fixed timestamp (YY MM DD)
+	binary.LittleEndian.PutUint32(head[4:8], uint32(len(t.Records)))
+	binary.LittleEndian.PutUint16(head[8:10], uint16(headerSize))
+	binary.LittleEndian.PutUint16(head[10:12], uint16(recordSize))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	for _, f := range t.Fields {
+		d := make([]byte, dbfFieldDescLen)
+		name := f.Name
+		if len(name) > 10 {
+			name = name[:10]
+		}
+		copy(d[0:11], name)
+		d[11] = f.Type
+		d[16] = byte(f.Length)
+		d[17] = byte(f.Decimals)
+		if _, err := w.Write(d); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write([]byte{dbfHeaderTermin}); err != nil {
+		return err
+	}
+	rec := make([]byte, recordSize)
+	for _, row := range t.Records {
+		if len(row) != len(t.Fields) {
+			return fmt.Errorf("shapefile: dbf row has %d cells for %d fields", len(row), len(t.Fields))
+		}
+		rec[0] = ' '
+		off := 1
+		for j, f := range t.Fields {
+			cell := row[j]
+			if len(cell) > f.Length {
+				cell = cell[:f.Length]
+			}
+			// Right-align numerics, left-align text, per convention.
+			pad := f.Length - len(cell)
+			if f.Type == 'N' || f.Type == 'F' {
+				copy(rec[off:], strings.Repeat(" ", pad))
+				copy(rec[off+pad:], cell)
+			} else {
+				copy(rec[off:], cell)
+				copy(rec[off+len(cell):], strings.Repeat(" ", pad))
+			}
+			off += f.Length
+		}
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte{0x1A}) // EOF marker
+	return err
+}

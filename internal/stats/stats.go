@@ -1,0 +1,149 @@
+// Package stats provides the small statistical toolkit the benchmark
+// harness uses: summaries, quantiles, and text histograms (Figure 8 of the
+// paper is a distribution histogram of the AVG attribute).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count               int
+	Min, Max, Mean, Sum float64
+	Median, P90, P99    float64
+	StdDev              float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range xs {
+		s.Sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	var ss float64
+	for _, v := range xs {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation. Empty input yields 0.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	// Lo is the lower edge of the first bin, Width the bin width.
+	Lo, Width float64
+	// Counts has one entry per bin.
+	Counts []int
+	// Total is the sample size.
+	Total int
+}
+
+// NewHistogram bins the sample into `bins` equal-width bins spanning
+// [min, max]. Values exactly at max land in the last bin.
+func NewHistogram(xs []float64, bins int) Histogram {
+	if len(xs) == 0 || bins <= 0 {
+		return Histogram{}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	h := Histogram{Lo: lo, Width: (hi - lo) / float64(bins), Counts: make([]int, bins), Total: len(xs)}
+	for _, v := range xs {
+		b := int((v - lo) / h.Width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// BinLabel returns "lo-hi" for bin i.
+func (h Histogram) BinLabel(i int) string {
+	lo := h.Lo + float64(i)*h.Width
+	return fmt.Sprintf("%.0f-%.0f", lo, lo+h.Width)
+}
+
+// Render draws the histogram as fixed-width text rows, one per bin, with
+// bars scaled so the largest bin spans `width` characters.
+func (h Histogram) Render(width int) string {
+	if len(h.Counts) == 0 {
+		return "(empty histogram)\n"
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "%14s | %-*s %d\n", h.BinLabel(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Skewness returns the sample skewness (Fisher-Pearson). Zero for samples
+// smaller than 2 or with zero variance.
+func Skewness(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Count < 2 || s.StdDev == 0 {
+		return 0
+	}
+	var m3 float64
+	for _, v := range xs {
+		d := (v - s.Mean) / s.StdDev
+		m3 += d * d * d
+	}
+	return m3 / float64(s.Count)
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Sum != 15 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Median != 3 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %v, want sqrt(2)", s.StdDev)
+	}
+	if got := Summarize(nil); got.Count != 0 {
+		t.Error("empty summary not zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {-0.5, 10}, {1.5, 40}, {0.25, 17.5},
+	}
+	for _, tc := range tests {
+		if got := Quantile(sorted, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Error("singleton quantile")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}
+	h := NewHistogram(xs, 5)
+	if h.Total != 10 || len(h.Counts) != 5 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Errorf("bin counts sum to %d, want 10", sum)
+	}
+	// max value lands in last bin
+	if h.Counts[4] == 0 {
+		t.Error("last bin should contain the max")
+	}
+	if !strings.Contains(h.BinLabel(0), "0-2") {
+		t.Errorf("BinLabel(0) = %q", h.BinLabel(0))
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || strings.Count(out, "\n") != 5 {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if h := NewHistogram(nil, 5); h.Total != 0 || h.Render(10) == "" {
+		t.Error("empty histogram should render a placeholder")
+	}
+	h := NewHistogram([]float64{3, 3, 3}, 4)
+	if h.Total != 3 {
+		t.Errorf("constant-sample histogram: %+v", h)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Error("constant sample lost values")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	symmetric := []float64{1, 2, 3, 4, 5}
+	if s := Skewness(symmetric); math.Abs(s) > 1e-9 {
+		t.Errorf("symmetric skewness = %v", s)
+	}
+	rightSkewed := []float64{1, 1, 1, 1, 2, 2, 3, 10}
+	if s := Skewness(rightSkewed); s <= 0 {
+		t.Errorf("right-skewed sample skewness = %v, want > 0", s)
+	}
+	if Skewness([]float64{5}) != 0 || Skewness([]float64{2, 2, 2}) != 0 {
+		t.Error("degenerate skewness should be 0")
+	}
+}
+
+// Property: histogram bin counts always total the sample size and quantiles
+// are monotone in q.
+func TestHistogramQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h := NewHistogram(xs, 7)
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != len(xs) {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(sorted, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package tabu
+
+import (
+	"emp/internal/geom"
+	"emp/internal/region"
+)
+
+// Objective is the optimization target of the local-search phase. The
+// paper's Section III notes the Tabu phase "can deal with different
+// optimization functions", naming spatial compactness and multi-criteria
+// balancing as alternatives to the default heterogeneity; this interface is
+// that extension point.
+//
+// Implementations must be consistent: DeltaMove(area, to) must equal the
+// change of Total after performing the move. Lower totals are better.
+type Objective interface {
+	// Total evaluates the partition.
+	Total(p *region.Partition) float64
+	// DeltaMove returns the change in Total if the area moved from its
+	// current region to the target region, without mutating the partition.
+	DeltaMove(p *region.Partition, area, to int) float64
+}
+
+// Heterogeneity is the paper's default objective: H(P), the sum over
+// regions of pairwise absolute differences of the dissimilarity attribute
+// (Equation 1).
+type Heterogeneity struct{}
+
+// Total returns H(P).
+func (Heterogeneity) Total(p *region.Partition) float64 { return p.Heterogeneity() }
+
+// DeltaMove returns the H(P) change of a move.
+func (Heterogeneity) DeltaMove(p *region.Partition, area, to int) float64 {
+	return p.HeteroDeltaMove(area, to)
+}
+
+// Compactness measures regions by the within-region sum of squared
+// distances of area centroids to the region's mean centroid (the k-means
+// dispersion). Lower is more spatially compact.
+type Compactness struct {
+	// Centroids holds one representative point per area.
+	Centroids []geom.Point
+}
+
+// NewCompactness builds the objective from area polygons.
+func NewCompactness(polys []geom.Polygon) *Compactness {
+	cents := make([]geom.Point, len(polys))
+	for i, pg := range polys {
+		cents[i] = pg.Centroid()
+	}
+	return &Compactness{Centroids: cents}
+}
+
+// regionSSE computes Σ|x_i − μ|² for the member centroids using the
+// identity Σ|x−μ|² = Σ|x|² − n·|μ|².
+func (c *Compactness) regionSSE(members []int) float64 {
+	var sx, sy, sq float64
+	for _, a := range members {
+		p := c.Centroids[a]
+		sx += p.X
+		sy += p.Y
+		sq += p.X*p.X + p.Y*p.Y
+	}
+	n := float64(len(members))
+	if n == 0 {
+		return 0
+	}
+	return sq - (sx*sx+sy*sy)/n
+}
+
+// Total returns the summed dispersion over regions.
+func (c *Compactness) Total(p *region.Partition) float64 {
+	var total float64
+	for _, id := range p.RegionIDs() {
+		total += c.regionSSE(p.Region(id).Members)
+	}
+	return total
+}
+
+// DeltaMove computes the dispersion change of a move in O(|from| + |to|).
+func (c *Compactness) DeltaMove(p *region.Partition, area, to int) float64 {
+	from := p.Region(p.Assignment(area))
+	toR := p.Region(to)
+	before := c.regionSSE(from.Members) + c.regionSSE(toR.Members)
+	rest := make([]int, 0, len(from.Members)-1)
+	for _, a := range from.Members {
+		if a != area {
+			rest = append(rest, a)
+		}
+	}
+	grown := append(append(make([]int, 0, len(toR.Members)+1), toR.Members...), area)
+	after := c.regionSSE(rest) + c.regionSSE(grown)
+	return after - before
+}
+
+// Weighted combines objectives linearly: Σ w_i · obj_i. Use it to balance
+// heterogeneity against compactness (the paper's "balancing multiple
+// criteria" case).
+type Weighted struct {
+	Objectives []Objective
+	Weights    []float64
+}
+
+// Total returns the weighted sum of the component totals.
+func (w *Weighted) Total(p *region.Partition) float64 {
+	var total float64
+	for i, o := range w.Objectives {
+		total += w.Weights[i] * o.Total(p)
+	}
+	return total
+}
+
+// DeltaMove returns the weighted sum of the component deltas.
+func (w *Weighted) DeltaMove(p *region.Partition, area, to int) float64 {
+	var d float64
+	for i, o := range w.Objectives {
+		d += w.Weights[i] * o.DeltaMove(p, area, to)
+	}
+	return d
+}

@@ -1,0 +1,210 @@
+// Package tabu implements the FaCT local-search phase: a Tabu search that
+// moves areas between neighboring regions to minimize the overall
+// heterogeneity H(P) without violating any user-defined constraint, without
+// breaking contiguity, and without changing the number of regions p.
+package tabu
+
+import (
+	"math"
+
+	"emp/internal/region"
+)
+
+// Config tunes the search.
+type Config struct {
+	// Objective is the optimization target; nil means the paper's default
+	// Heterogeneity.
+	Objective Objective
+	// Tenure is the tabu tenure: after moving an area out of a region,
+	// moving it back is forbidden for this many iterations (aspiration:
+	// allowed anyway when the move yields a new global best).
+	Tenure int
+	// MaxNoImprove stops the search after this many consecutive moves
+	// that fail to improve the best heterogeneity found.
+	MaxNoImprove int
+	// Seed is reserved for stochastic tie-breaking; the current
+	// implementation is deterministic (best-delta, lowest key).
+	Seed int64
+}
+
+// Stats reports what the search did.
+type Stats struct {
+	// Moves is the number of accepted moves (including reverted ones).
+	Moves int
+	// Improvements is the number of new-best events.
+	Improvements int
+	// BestScore is the objective value of the returned partition.
+	BestScore float64
+}
+
+type moveKey struct {
+	area, to int
+}
+
+type appliedMove struct {
+	area, from, to int
+}
+
+// searcher holds the candidate-move incremental state.
+type searcher struct {
+	p    *region.Partition
+	obj  Objective
+	cand map[moveKey]float64 // valid moves and their objective delta
+	tabu map[moveKey]int     // forbidden until iteration
+}
+
+// Improve runs Tabu search on the partition in place. On return the
+// partition is in the best state encountered (moves past the best are
+// reverted). The caller must pass a partition whose regions all satisfy the
+// constraints; the search preserves that invariant at every step.
+func Improve(p *region.Partition, cfg Config) Stats {
+	if cfg.Tenure <= 0 {
+		cfg.Tenure = 10
+	}
+	obj := cfg.Objective
+	if obj == nil {
+		obj = Heterogeneity{}
+	}
+	s := &searcher{
+		p:    p,
+		obj:  obj,
+		cand: make(map[moveKey]float64),
+		tabu: make(map[moveKey]int),
+	}
+	s.buildAllCandidates()
+
+	best := obj.Total(p)
+	stats := Stats{BestScore: best}
+	var undo []appliedMove
+	noImprove := 0
+	for iter := 1; noImprove < cfg.MaxNoImprove; iter++ {
+		key, delta, ok := s.pickMove(iter, best)
+		if !ok {
+			break
+		}
+		from := p.Assignment(key.area)
+		p.MoveArea(key.area, key.to)
+		stats.Moves++
+		undo = append(undo, appliedMove{area: key.area, from: from, to: key.to})
+		s.tabu[moveKey{area: key.area, to: from}] = iter + cfg.Tenure
+		s.refreshAround(from, key.to)
+
+		h := s.obj.Total(p)
+		if h < best-1e-9 {
+			best = h
+			stats.Improvements++
+			noImprove = 0
+			undo = undo[:0] // commit: current state is the new best
+		} else {
+			noImprove++
+		}
+		_ = delta
+	}
+	// Revert any moves made after the last improvement so the partition
+	// ends at the best state found.
+	for i := len(undo) - 1; i >= 0; i-- {
+		m := undo[i]
+		p.MoveArea(m.area, m.from)
+	}
+	stats.BestScore = s.obj.Total(p)
+	return stats
+}
+
+// pickMove selects the valid candidate with the smallest delta that is not
+// tabu, or is tabu but would produce a new global best (aspiration).
+func (s *searcher) pickMove(iter int, best float64) (moveKey, float64, bool) {
+	cur := s.obj.Total(s.p)
+	var bestKey moveKey
+	bestDelta := math.Inf(1)
+	found := false
+	for k, d := range s.cand {
+		if exp, isTabu := s.tabu[k]; isTabu && iter < exp {
+			if cur+d >= best-1e-9 {
+				continue // tabu and not aspirational
+			}
+		}
+		if d < bestDelta || (d == bestDelta && found && less(k, bestKey)) {
+			bestKey, bestDelta, found = k, d, true
+		}
+	}
+	return bestKey, bestDelta, found
+}
+
+func less(a, b moveKey) bool {
+	if a.area != b.area {
+		return a.area < b.area
+	}
+	return a.to < b.to
+}
+
+// buildAllCandidates scans every region's boundary for valid moves.
+func (s *searcher) buildAllCandidates() {
+	for _, id := range s.p.RegionIDs() {
+		for _, a := range s.p.BoundaryAreas(id) {
+			s.addCandidatesFor(a)
+		}
+	}
+}
+
+// addCandidatesFor registers all valid moves of one area.
+func (s *searcher) addCandidatesFor(a int) {
+	p := s.p
+	from := p.Assignment(a)
+	if from == region.Unassigned {
+		return
+	}
+	r := p.Region(from)
+	if r.Size() <= 1 {
+		return // moving the only member would change p
+	}
+	// Donor-side checks are target independent.
+	canRemove := p.CanRemove(a) && r.Tracker.SatisfiedAllAfterRemove(a, r.Members)
+	if !canRemove {
+		return
+	}
+	seen := map[int]bool{from: true}
+	for _, nb := range p.Graph().Neighbors(a) {
+		to := p.Assignment(nb)
+		if to == region.Unassigned || seen[to] {
+			continue
+		}
+		seen[to] = true
+		if !p.Region(to).Tracker.SatisfiedAllAfterAdd(a) {
+			continue
+		}
+		s.cand[moveKey{area: a, to: to}] = s.obj.DeltaMove(p, a, to)
+	}
+}
+
+// refreshAround rebuilds the candidate entries affected by a move between
+// regions f and t: moves by members of f or t, and moves by areas adjacent
+// to them (whose target sets or deltas may have changed).
+func (s *searcher) refreshAround(f, t int) {
+	p := s.p
+	affected := make(map[int]bool)
+	mark := func(id int) {
+		r := p.Region(id)
+		if r == nil {
+			return
+		}
+		for _, a := range r.Members {
+			affected[a] = true
+			for _, nb := range p.Graph().Neighbors(a) {
+				if p.Assignment(nb) != region.Unassigned {
+					affected[nb] = true
+				}
+			}
+		}
+	}
+	mark(f)
+	mark(t)
+	// Drop stale entries for affected areas or into the changed regions.
+	for k := range s.cand {
+		if affected[k.area] || k.to == f || k.to == t {
+			delete(s.cand, k)
+		}
+	}
+	for a := range affected {
+		s.addCandidatesFor(a)
+	}
+}
