@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet check bench bench-tabu
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector (the parallel multi-start in internal/fact shares a mutex-guarded
+# best-candidate slot that plain `go test` never exercises for races).
+check: vet race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# bench-tabu regenerates BENCH_tabu.json (local-search before/after).
+bench-tabu:
+	$(GO) run ./cmd/empbench -benchtabu -scale 1

@@ -34,6 +34,7 @@ func main() {
 		iterations = flag.Int("iterations", 1, "FaCT construction iterations")
 		noTabu     = flag.Bool("notabu", false, "skip the local-search phase")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		benchTabu  = flag.Bool("benchtabu", false, "run the tabu kernel benchmark and write BENCH_tabu.json")
 	)
 	flag.Parse()
 
@@ -41,6 +42,17 @@ func main() {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
+		return
+	}
+	if *benchTabu {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteTabuBench(cfg, "BENCH_tabu.json")
+		if err != nil {
+			log.Fatalf("benchtabu: %v", err)
+		}
+		fmt.Printf("tabu improve on %s (%d areas, %d regions): naive %.3fs, kernel %.3fs, speedup %.2fx\n",
+			res.Dataset, res.Areas, res.Regions, res.SecondsBefore, res.SecondsAfter, res.Speedup)
+		fmt.Println("wrote BENCH_tabu.json")
 		return
 	}
 	cfg := experiments.Config{

@@ -143,11 +143,17 @@ func NamedSeeded(name string, seed int64) (*data.Dataset, error) {
 	if !ok {
 		return nil, fmt.Errorf("census: unknown dataset %q (known: %v)", name, SizeNames())
 	}
+	comps := sz.Components
+	if comps > sz.States {
+		// Some inventory entries (e.g. "8k") record more components than
+		// state blocks; clamp like Scaled does instead of failing.
+		comps = sz.States
+	}
 	return Generate(Options{
 		Name:       name,
 		Areas:      sz.Areas,
 		States:     sz.States,
-		Components: sz.Components,
+		Components: comps,
 		Seed:       seed,
 		Jitter:     -1,
 	})

@@ -22,6 +22,7 @@ import (
 
 	"emp/internal/constraint"
 	"emp/internal/data"
+	"emp/internal/region"
 )
 
 // MaxN is the default limit on instance size; B(12)·13 ≈ 55M leaf checks is
@@ -175,4 +176,35 @@ func Solve(ds *data.Dataset, set constraint.Set, opts Options) (*Result, error) 
 		best.Assignment = nil
 	}
 	return best, nil
+}
+
+// BuildPartition materializes a Result's assignment as a region.Partition,
+// so the optimum found by exhaustive enumeration can be re-verified through
+// the incremental machinery (contiguity tracking, constraint trackers, and
+// the heterogeneity kernel). Returns nil when the result carries no
+// assignment.
+func BuildPartition(ds *data.Dataset, set constraint.Set, res *Result) (*region.Partition, error) {
+	if res == nil || res.Assignment == nil {
+		return nil, nil
+	}
+	ev, err := constraint.NewEvaluator(set, ds.Column)
+	if err != nil {
+		return nil, err
+	}
+	p, err := region.NewPartition(ds, ev)
+	if err != nil {
+		return nil, err
+	}
+	members := make([][]int, res.P)
+	for a, idx := range res.Assignment {
+		if idx >= 0 {
+			members[idx] = append(members[idx], a)
+		}
+	}
+	for _, m := range members {
+		if len(m) > 0 {
+			p.NewRegion(m...)
+		}
+	}
+	return p, nil
 }

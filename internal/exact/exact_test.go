@@ -2,6 +2,7 @@ package exact
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -217,5 +218,50 @@ func TestExploredGrowsSuperExponentially(t *testing.T) {
 	ratio2 := float64(counts[2]) / float64(counts[1])
 	if ratio2 <= ratio1 {
 		t.Errorf("growth not super-exponential: ratios %.1f then %.1f", ratio1, ratio2)
+	}
+}
+
+// TestBuildPartitionVerifiesKernel re-verifies exhaustive optima through the
+// incremental partition machinery: materializing the optimal assignment as a
+// region.Partition must pass Validate (contiguity, trackers, kernel
+// bookkeeping) and the kernel's heterogeneity must equal the enumeration's
+// exhaustive pairwise sum.
+func TestBuildPartitionVerifiesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		cols, rows := 2+rng.Intn(2), 2+rng.Intn(2)
+		n := cols * rows
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(1 + rng.Intn(9))
+		}
+		ds := gridDataset(t, cols, rows, vals)
+		set := constraint.Set{constraint.AtLeast(constraint.Sum, "s", float64(2+rng.Intn(6)))}
+		ex, err := Solve(ds, set, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.Feasible {
+			continue
+		}
+		p, err := BuildPartition(ds, set, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == nil {
+			t.Fatalf("trial %d: feasible result but no partition", trial)
+		}
+		if !p.HeteroKernelEnabled() {
+			t.Fatal("hetero kernel should be on by default")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: optimal partition fails invariants: %v", trial, err)
+		}
+		if got := p.Heterogeneity(); math.Abs(got-ex.Hetero) > 1e-9*(1+ex.Hetero) {
+			t.Errorf("trial %d: kernel H %g != exhaustive H %g", trial, got, ex.Hetero)
+		}
+		if p.NumRegions() != ex.P {
+			t.Errorf("trial %d: %d regions, want %d", trial, p.NumRegions(), ex.P)
+		}
 	}
 }

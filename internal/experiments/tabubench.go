@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"emp/internal/census"
+	"emp/internal/maxp"
+	"emp/internal/region"
+	"emp/internal/tabu"
+)
+
+// TabuBenchResult is the JSON artifact written by `empbench -benchtabu`:
+// one full Tabu local-search run on the 8k dataset with the incremental
+// heterogeneity kernel off ("before") and on ("after").
+type TabuBenchResult struct {
+	Dataset       string  `json:"dataset"`
+	Areas         int     `json:"areas"`
+	Regions       int     `json:"regions"`
+	Scale         float64 `json:"scale"`
+	Seed          int64   `json:"seed"`
+	MovesBefore   int     `json:"moves_before"`
+	MovesAfter    int     `json:"moves_after"`
+	SecondsBefore float64 `json:"seconds_before"`
+	SecondsAfter  float64 `json:"seconds_after"`
+	NsPerOpBefore float64 `json:"ns_per_op_before"`
+	NsPerOpAfter  float64 `json:"ns_per_op_after"`
+	Speedup       float64 `json:"speedup"`
+	HeteroBefore  float64 `json:"hetero_naive"`
+	HeteroAfter   float64 `json:"hetero_kernel"`
+}
+
+// TabuBench measures the local-search hot path on the census 8k dataset
+// (scaled by cfg.Scale). The start partition comes from the max-p
+// construction phase; the identical clone is then improved twice — naive
+// heterogeneity fallback vs the Fenwick kernel — and the wall times
+// compared. ns_per_op is nanoseconds per full Improve invocation, the same
+// unit testing.B reports for BenchmarkTabuImprove8k.
+func TabuBench(cfg Config) (*TabuBenchResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "8k")
+	if err != nil {
+		return nil, err
+	}
+	// Threshold chosen so max-p lands at a few dozen regions: large enough
+	// regions that the kernel's O(log n) vs O(|R|) gap dominates.
+	var total float64
+	for _, v := range ds.Column(census.AttrTotalPop) {
+		total += v
+	}
+	res, err := maxp.Solve(ds, census.AttrTotalPop, total/40, maxp.Config{
+		Seed:            cfg.Seed,
+		SkipLocalSearch: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := res.Partition
+
+	improve := func(kernel, fallback bool) (time.Duration, tabu.Stats, *region.Partition) {
+		p := base.Clone()
+		p.SetHeteroKernel(kernel)
+		start := time.Now()
+		st := tabu.Improve(p, tabu.Config{Tenure: 10, MaxNoImprove: 30, Fallback: fallback})
+		return time.Since(start), st, p
+	}
+	durNaive, statsNaive, pNaive := improve(false, true)
+	durKernel, statsKernel, pKernel := improve(true, false)
+
+	out := &TabuBenchResult{
+		Dataset:       "8k",
+		Areas:         ds.N(),
+		Regions:       base.NumRegions(),
+		Scale:         cfg.Scale,
+		Seed:          cfg.Seed,
+		MovesBefore:   statsNaive.Moves,
+		MovesAfter:    statsKernel.Moves,
+		SecondsBefore: durNaive.Seconds(),
+		SecondsAfter:  durKernel.Seconds(),
+		NsPerOpBefore: float64(durNaive.Nanoseconds()),
+		NsPerOpAfter:  float64(durKernel.Nanoseconds()),
+		HeteroBefore:  pNaive.Heterogeneity(),
+		HeteroAfter:   pKernel.Heterogeneity(),
+	}
+	if durKernel > 0 {
+		out.Speedup = durNaive.Seconds() / durKernel.Seconds()
+	}
+	return out, nil
+}
+
+// WriteTabuBench runs TabuBench and writes the JSON artifact.
+func WriteTabuBench(cfg Config, path string) (*TabuBenchResult, error) {
+	res, err := TabuBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("tabubench: %w", err)
+	}
+	return res, nil
+}

@@ -33,6 +33,9 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cf
 	if err != nil {
 		return nil, err
 	}
+	if cfg.KernelOff {
+		p.SetHeteroKernel(false)
+	}
 	b := &builder{
 		ds:     ds,
 		ev:     ev,

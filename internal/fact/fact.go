@@ -77,6 +77,11 @@ type Config struct {
 	Parallelism int
 	// LocalSearch selects the phase-3 algorithm (default Tabu search).
 	LocalSearch LocalSearch
+	// KernelOff disables the incremental heterogeneity kernel (the
+	// per-region Fenwick indexes over dissimilarity ranks) and falls back
+	// to naive member scans. The solutions are identical; the flag exists
+	// for differential testing and benchmarking. See docs/ALGORITHM.md.
+	KernelOff bool
 }
 
 // LocalSearch selects the phase-3 improvement algorithm.

@@ -1,0 +1,177 @@
+package graph
+
+// Scratch holds reusable per-vertex buffers for repeated subset-connectivity
+// and articulation queries, avoiding the per-call map allocations of
+// ConnectedSubset/ConnectedSubsetExcluding on hot paths. Membership and
+// visitation are recorded as generation stamps, so resetting between queries
+// is O(1). A Scratch is not safe for concurrent use; each goroutine (or each
+// region.Partition) owns its own.
+type Scratch struct {
+	g *Graph
+	// inStamp marks subset membership for the current query.
+	inStamp []int
+	// visStamp marks visited vertices for the current traversal.
+	visStamp []int
+	// stamp is the current generation; bumped once per query.
+	stamp int
+	// queue is the BFS/DFS worklist.
+	queue []int
+	// disc/low are Tarjan discovery/lowlink times, valid when visStamp
+	// matches the current stamp.
+	disc, low []int
+	// parent is the DFS tree parent during articulation runs.
+	parent []int
+	// artStamp marks articulation points found in the current generation.
+	artStamp []int
+}
+
+// NewScratch allocates scratch buffers sized for the graph.
+func (g *Graph) NewScratch() *Scratch {
+	n := g.N()
+	return &Scratch{
+		g:        g,
+		inStamp:  make([]int, n),
+		visStamp: make([]int, n),
+		disc:     make([]int, n),
+		low:      make([]int, n),
+		parent:   make([]int, n),
+		artStamp: make([]int, n),
+	}
+}
+
+// begin starts a new query generation and marks the members, returning the
+// number of distinct marked vertices.
+func (s *Scratch) begin(members []int, exclude int) int {
+	s.stamp++
+	marked := 0
+	for _, v := range members {
+		if v == exclude {
+			continue
+		}
+		if s.inStamp[v] != s.stamp {
+			s.inStamp[v] = s.stamp
+			marked++
+		}
+	}
+	return marked
+}
+
+// ConnectedSubsetScratch is ConnectedSubset using reusable buffers.
+func (g *Graph) ConnectedSubsetScratch(s *Scratch, members []int) bool {
+	if len(members) <= 1 {
+		return true
+	}
+	want := s.begin(members, -1)
+	return s.bfsCount(members[0]) == want
+}
+
+// ConnectedSubsetExcludingScratch is ConnectedSubsetExcluding using reusable
+// buffers: it reports whether the subset stays connected after removing one
+// member.
+func (g *Graph) ConnectedSubsetExcludingScratch(s *Scratch, members []int, removed int) bool {
+	want := s.begin(members, removed)
+	if want <= 1 {
+		return true
+	}
+	start := -1
+	for _, v := range members {
+		if v != removed {
+			start = v
+			break
+		}
+	}
+	return s.bfsCount(start) == want
+}
+
+// bfsCount traverses from start within the currently marked subset and
+// returns the number of vertices reached.
+func (s *Scratch) bfsCount(start int) int {
+	s.visStamp[start] = s.stamp
+	s.queue = append(s.queue[:0], start)
+	reached := 1
+	for len(s.queue) > 0 {
+		u := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, v := range s.g.adj[u] {
+			if s.inStamp[v] == s.stamp && s.visStamp[v] != s.stamp {
+				s.visStamp[v] = s.stamp
+				reached++
+				s.queue = append(s.queue, v)
+			}
+		}
+	}
+	return reached
+}
+
+// SubsetArticulation reports, for each member, whether it is an articulation
+// point of the subgraph induced by the member subset — i.e. whether removing
+// it disconnects the remaining members. The result is parallel to members.
+// One call costs O(|members| + induced edges), so callers can amortize a
+// whole region's removability checks into a single traversal per region
+// mutation instead of one BFS per member.
+//
+// Members need not induce a connected subgraph; articulation is computed per
+// induced component (removing a member of one component never disconnects
+// another).
+func (g *Graph) SubsetArticulation(s *Scratch, members []int) []bool {
+	s.begin(members, -1)
+	art := make([]bool, len(members))
+	if len(members) <= 2 {
+		return art // K1/K2: removal leaves <= 1 vertex, always connected
+	}
+	timer := 0
+	type frame struct{ u, idx int }
+	var stack []frame
+	for _, root := range members {
+		if s.visStamp[root] == s.stamp {
+			continue
+		}
+		s.visStamp[root] = s.stamp
+		s.disc[root], s.low[root] = timer, timer
+		timer++
+		s.parent[root] = -1
+		rootChildren := 0
+		stack = append(stack[:0], frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.u
+			if f.idx < len(g.adj[u]) {
+				v := g.adj[u][f.idx]
+				f.idx++
+				if s.inStamp[v] != s.stamp {
+					continue // outside the subset
+				}
+				if s.visStamp[v] != s.stamp {
+					s.visStamp[v] = s.stamp
+					s.parent[v] = u
+					s.disc[v], s.low[v] = timer, timer
+					timer++
+					if u == root {
+						rootChildren++
+					}
+					stack = append(stack, frame{v, 0})
+				} else if v != s.parent[u] && s.disc[v] < s.low[u] {
+					s.low[u] = s.disc[v]
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				p := s.parent[u]
+				if p != -1 {
+					if s.low[u] < s.low[p] {
+						s.low[p] = s.low[u]
+					}
+					if p != root && s.low[u] >= s.disc[p] {
+						s.artStamp[p] = s.stamp
+					}
+				}
+			}
+		}
+		if rootChildren > 1 {
+			s.artStamp[root] = s.stamp
+		}
+	}
+	for i, v := range members {
+		art[i] = s.artStamp[v] == s.stamp
+	}
+	return art
+}

@@ -1,0 +1,179 @@
+package region
+
+import "sort"
+
+// This file implements the incremental heterogeneity kernel: an O(log n)
+// evaluator for Σ_m |d_a − d_m| over the members m of a region, the quantity
+// at the core of every heterogeneity update (AddArea, RemoveArea,
+// MergeRegions' cross term, and HeteroDeltaMove).
+//
+// The decomposition is the standard prefix-sum split of an L1 objective:
+// order all areas once per dissimilarity attribute by value (ties broken by
+// area id, so ranks are unique and deterministic), and maintain per region a
+// Fenwick (binary indexed) tree over that rank space storing member counts
+// and member value sums. For a query value v with cnt≤/sum≤ the count and
+// sum of members ranked at or below v's rank,
+//
+//	Σ_m |v − d_m| = v·cnt≤ − sum≤ + (sumtot − sum≤) − v·(size − cnt≤)
+//
+// because members with equal value contribute zero regardless of which side
+// of the split they land on. One Fenwick prefix query per attribute answers
+// the whole sum in O(log n) instead of O(|R|).
+//
+// Small regions stay on the naive O(|R|) scan — for |R| below the build
+// threshold the scan is cheaper than tree traversal, and skipping trees for
+// small regions bounds kernel memory to O(n²/threshold) across all regions
+// (at most n/threshold regions can exceed the threshold simultaneously).
+
+// kernelMinRegion is the floor of the Fenwick build threshold; the effective
+// threshold grows with the dataset (see heteroKernel.minFen) so at most
+// ~fenRegionCap regions ever hold a tree at once.
+const kernelMinRegion = 8
+
+// fenRegionCap bounds how many regions can simultaneously exceed the build
+// threshold (threshold = max(kernelMinRegion, n/fenRegionCap)).
+const fenRegionCap = 128
+
+// heteroKernel holds the immutable per-dataset rank structure. It is shared
+// across Partition clones; only regionFen trees are per-partition state.
+type heteroKernel struct {
+	n int
+	// vals[ai][area] is the (scaled) dissimilarity value.
+	vals [][]float64
+	// rank[ai][area] is the area's unique rank in the sorted order of
+	// attribute ai (ascending value, ties by area id).
+	rank [][]int32
+	// minFen is the region size at which a Fenwick tree is built.
+	minFen int
+}
+
+// newHeteroKernel builds the rank order of each dissimilarity column.
+func newHeteroKernel(dis [][]float64) *heteroKernel {
+	n := 0
+	if len(dis) > 0 {
+		n = len(dis[0])
+	}
+	k := &heteroKernel{n: n, vals: dis, minFen: kernelMinRegion}
+	if t := n / fenRegionCap; t > k.minFen {
+		k.minFen = t
+	}
+	k.rank = make([][]int32, len(dis))
+	order := make([]int, n)
+	for ai, col := range dis {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(x, y int) bool {
+			if col[order[x]] != col[order[y]] {
+				return col[order[x]] < col[order[y]]
+			}
+			return order[x] < order[y]
+		})
+		r := make([]int32, n)
+		for pos, area := range order {
+			r[area] = int32(pos)
+		}
+		k.rank[ai] = r
+	}
+	return k
+}
+
+// regionFen is one region's Fenwick index: per attribute, a tree over ranks
+// holding member counts and member value sums, plus the running totals.
+type regionFen struct {
+	size int
+	cnt  [][]int32
+	sum  [][]float64
+	tot  []float64
+}
+
+// acquireFen returns a zeroed regionFen, reusing a pooled one when possible.
+func (p *Partition) acquireFen() *regionFen {
+	if n := len(p.fenPool); n > 0 {
+		f := p.fenPool[n-1]
+		p.fenPool = p.fenPool[:n-1]
+		f.reset()
+		return f
+	}
+	k := p.krn
+	f := &regionFen{
+		cnt: make([][]int32, len(k.vals)),
+		sum: make([][]float64, len(k.vals)),
+		tot: make([]float64, len(k.vals)),
+	}
+	for ai := range k.vals {
+		f.cnt[ai] = make([]int32, k.n+1)
+		f.sum[ai] = make([]float64, k.n+1)
+	}
+	return f
+}
+
+// releaseFen returns a tree to the pool (nil-safe).
+func (p *Partition) releaseFen(f *regionFen) {
+	if f != nil {
+		p.fenPool = append(p.fenPool, f)
+	}
+}
+
+// reset zeroes the tree in place.
+func (f *regionFen) reset() {
+	f.size = 0
+	for ai := range f.cnt {
+		c, s := f.cnt[ai], f.sum[ai]
+		for i := range c {
+			c[i] = 0
+		}
+		for i := range s {
+			s[i] = 0
+		}
+		f.tot[ai] = 0
+	}
+}
+
+// add registers an area in the tree.
+func (k *heteroKernel) add(f *regionFen, area int) {
+	f.size++
+	for ai := range k.vals {
+		v := k.vals[ai][area]
+		f.tot[ai] += v
+		cnt, sum := f.cnt[ai], f.sum[ai]
+		for i := int(k.rank[ai][area]) + 1; i < len(cnt); i += i & (-i) {
+			cnt[i]++
+			sum[i] += v
+		}
+	}
+}
+
+// remove unregisters an area from the tree.
+func (k *heteroKernel) remove(f *regionFen, area int) {
+	f.size--
+	for ai := range k.vals {
+		v := k.vals[ai][area]
+		f.tot[ai] -= v
+		cnt, sum := f.cnt[ai], f.sum[ai]
+		for i := int(k.rank[ai][area]) + 1; i < len(cnt); i += i & (-i) {
+			cnt[i]--
+			sum[i] -= v
+		}
+	}
+}
+
+// query returns Σ_m Σ_attr |d_attr(area) − d_attr(m)| over the registered
+// members m in O(attrs · log n). The area itself may or may not be
+// registered; its self-term is zero either way.
+func (k *heteroKernel) query(f *regionFen, area int) float64 {
+	var total float64
+	for ai := range k.vals {
+		v := k.vals[ai][area]
+		cnt, sum := f.cnt[ai], f.sum[ai]
+		// Inclusive prefix over ranks <= rank(area).
+		var cb int32
+		var sb float64
+		for i := int(k.rank[ai][area]) + 1; i > 0; i -= i & (-i) {
+			cb += cnt[i]
+			sb += sum[i]
+		}
+		total += v*float64(cb) - sb + (f.tot[ai] - sb) - v*float64(f.size-int(cb))
+	}
+	return total
+}

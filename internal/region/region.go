@@ -27,7 +27,18 @@ type Region struct {
 	// Hetero is the internal heterogeneity: sum of |d_i - d_j| over
 	// member pairs.
 	Hetero float64
+	// epoch counts mutations of this region (member additions, removals,
+	// merges). Consumers cache per-region derived state (e.g. removability
+	// of members) keyed by (ID, epoch).
+	epoch int
+	// fen is the region's Fenwick heterogeneity index, or nil while the
+	// region is below the build threshold (then the naive scan is used).
+	fen *regionFen
 }
+
+// Version returns the region's mutation epoch. It changes whenever the
+// member set changes, so (ID, Version) keys cached derived state.
+func (r *Region) Version() int { return r.epoch }
 
 // Size returns the number of member areas.
 func (r *Region) Size() int { return len(r.Members) }
@@ -46,6 +57,17 @@ type Partition struct {
 	assign  []int
 	regions map[int]*Region
 	nextID  int
+
+	// krn is the immutable rank structure of the heterogeneity kernel
+	// (shared across clones); kernelOn gates the O(log n) path so the
+	// naive O(|R|) fallback stays available for differential testing.
+	krn      *heteroKernel
+	kernelOn bool
+	fenPool  []*regionFen
+	// scratch backs allocation-free contiguity and articulation queries.
+	// It makes Partition methods non-reentrant; a Partition was already
+	// not safe for concurrent use.
+	scratch *graph.Scratch
 }
 
 // NewPartition creates an empty partition (all areas unassigned) for the
@@ -60,15 +82,63 @@ func NewPartition(ds *data.Dataset, ev *constraint.Evaluator) (*Partition, error
 	for i := range assign {
 		assign[i] = Unassigned
 	}
+	g := ds.Graph()
 	return &Partition{
-		ds:      ds,
-		g:       ds.Graph(),
-		ev:      ev,
-		dis:     dis,
-		assign:  assign,
-		regions: make(map[int]*Region),
-		nextID:  1,
+		ds:       ds,
+		g:        g,
+		ev:       ev,
+		dis:      dis,
+		assign:   assign,
+		regions:  make(map[int]*Region),
+		nextID:   1,
+		krn:      newHeteroKernel(dis),
+		kernelOn: true,
+		scratch:  g.NewScratch(),
 	}, nil
+}
+
+// SetHeteroKernel enables or disables the O(log n) incremental
+// heterogeneity kernel. It is on by default; turning it off forces every
+// heterogeneity update and delta onto the naive O(|R|) member scan, which is
+// the reference implementation for differential testing. Existing indexes
+// are dropped when disabling and rebuilt lazily when re-enabling.
+func (p *Partition) SetHeteroKernel(on bool) {
+	p.kernelOn = on
+	for _, r := range p.regions {
+		if !on {
+			p.releaseFen(r.fen)
+			r.fen = nil
+		} else {
+			p.maybeBuildFen(r)
+		}
+	}
+}
+
+// HeteroKernelEnabled reports whether the incremental kernel is active.
+func (p *Partition) HeteroKernelEnabled() bool { return p.kernelOn }
+
+// maybeBuildFen builds the region's Fenwick index when the kernel is on,
+// none exists yet, and the region is large enough to profit.
+func (p *Partition) maybeBuildFen(r *Region) {
+	if !p.kernelOn || r.fen != nil || len(r.Members) < p.krn.minFen {
+		return
+	}
+	f := p.acquireFen()
+	for _, a := range r.Members {
+		p.krn.add(f, a)
+	}
+	r.fen = f
+}
+
+// regionAbsDiff returns Σ_m Σ_attr |d_attr(area) − d_attr(m)| over the
+// region's members, through the Fenwick index when built (O(attrs·log n)) or
+// the naive scan otherwise. The area's own self-term, when it is a member,
+// is zero under both paths.
+func (p *Partition) regionAbsDiff(r *Region, area int) float64 {
+	if r.fen != nil {
+		return p.krn.query(r.fen, area)
+	}
+	return p.sumAbsDiff(area, r.Members)
 }
 
 // Dataset returns the underlying dataset.
@@ -146,8 +216,14 @@ func (p *Partition) addAreaTo(r *Region, area int) {
 	if p.assign[area] != Unassigned {
 		panic(fmt.Sprintf("region: area %d already assigned to region %d", area, p.assign[area]))
 	}
-	r.Hetero += p.sumAbsDiff(area, r.Members)
+	r.Hetero += p.regionAbsDiff(r, area)
 	r.Members = append(r.Members, area)
+	if r.fen != nil {
+		p.krn.add(r.fen, area)
+	} else {
+		p.maybeBuildFen(r)
+	}
+	r.epoch++
 	r.Tracker.Add(area)
 	p.assign[area] = r.ID
 }
@@ -171,9 +247,15 @@ func (p *Partition) RemoveArea(area int) {
 	r.Members[idx] = r.Members[len(r.Members)-1]
 	r.Members = r.Members[:len(r.Members)-1]
 	r.Tracker.Remove(area, r.Members)
-	r.Hetero -= p.sumAbsDiff(area, r.Members)
+	if r.fen != nil {
+		p.krn.remove(r.fen, area)
+	}
+	r.Hetero -= p.regionAbsDiff(r, area)
+	r.epoch++
 	p.assign[area] = Unassigned
 	if len(r.Members) == 0 {
+		p.releaseFen(r.fen)
+		r.fen = nil
 		delete(p.regions, id)
 	}
 }
@@ -187,6 +269,8 @@ func (p *Partition) DissolveRegion(regionID int) {
 	for _, a := range r.Members {
 		p.assign[a] = Unassigned
 	}
+	p.releaseFen(r.fen)
+	r.fen = nil
 	delete(p.regions, regionID)
 }
 
@@ -200,17 +284,28 @@ func (p *Partition) MergeRegions(dstID, srcID int) {
 	if dst == nil || src == nil {
 		panic(fmt.Sprintf("region: merge %d <- %d with unknown region", dstID, srcID))
 	}
-	// Cross heterogeneity between the two groups.
+	// Cross heterogeneity between the two groups: one kernel query per
+	// src member against dst (O(|src| log n)) instead of O(|src|·|dst|).
 	var cross float64
 	for _, a := range src.Members {
-		cross += p.sumAbsDiff(a, dst.Members)
+		cross += p.regionAbsDiff(dst, a)
 	}
 	dst.Hetero += src.Hetero + cross
 	for _, a := range src.Members {
 		p.assign[a] = dstID
 	}
 	dst.Members = append(dst.Members, src.Members...)
+	if dst.fen != nil {
+		for _, a := range src.Members {
+			p.krn.add(dst.fen, a)
+		}
+	} else {
+		p.maybeBuildFen(dst)
+	}
+	dst.epoch++
 	dst.Tracker.Merge(src.Tracker)
+	p.releaseFen(src.fen)
+	src.fen = nil
 	delete(p.regions, srcID)
 }
 
@@ -237,30 +332,31 @@ func (p *Partition) sumAbsDiff(area int, members []int) float64 {
 }
 
 // Heterogeneity returns H(P): the sum of internal heterogeneity over all
-// regions (Equation 1 of the paper).
+// regions (Equation 1 of the paper). Regions are summed in ascending id
+// order so the float result is identical run-to-run for the same partition
+// (map iteration order would otherwise perturb rounding).
 func (p *Partition) Heterogeneity() float64 {
+	ids := make([]int, 0, len(p.regions))
+	for id := range p.regions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var h float64
-	for _, r := range p.regions {
-		h += r.Hetero
+	for _, id := range ids {
+		h += p.regions[id].Hetero
 	}
 	return h
 }
 
 // HeteroDeltaMove returns the change in H(P) if area moved from its current
-// region to the target region, without mutating the partition.
+// region to the target region, without mutating the partition. With the
+// kernel on both sides cost O(attrs·log n); the area's self-term in its own
+// region is zero, so no member needs to be excluded explicitly.
 func (p *Partition) HeteroDeltaMove(area, toRegionID int) float64 {
 	from := p.regions[p.assign[area]]
 	to := p.regions[toRegionID]
-	var loss float64
-	for _, row := range p.dis {
-		da := row[area]
-		for _, m := range from.Members {
-			if m != area {
-				loss += math.Abs(da - row[m])
-			}
-		}
-	}
-	gain := p.sumAbsDiff(area, to.Members)
+	loss := p.regionAbsDiff(from, area)
+	gain := p.regionAbsDiff(to, area)
 	return gain - loss
 }
 
@@ -282,7 +378,25 @@ func (p *Partition) CanRemove(area int) bool {
 		return false
 	}
 	r := p.regions[id]
-	return p.g.ConnectedSubsetExcluding(r.Members, area)
+	return p.g.ConnectedSubsetExcludingScratch(p.scratch, r.Members, area)
+}
+
+// RemovableMembers returns, parallel to the region's Members, whether each
+// member can be removed without disconnecting the rest — the donor-side
+// contiguity check of swap moves, answered for the whole region in one
+// articulation-point pass (O(|R| + induced edges)) instead of one BFS per
+// member. Cache the result keyed by (regionID, Version()) — it is valid
+// until the region next mutates.
+func (p *Partition) RemovableMembers(regionID int) []bool {
+	r := p.regions[regionID]
+	if r == nil {
+		return nil
+	}
+	art := p.g.SubsetArticulation(p.scratch, r.Members)
+	for i := range art {
+		art[i] = !art[i]
+	}
+	return art
 }
 
 // AdjacentToRegion reports whether the area has at least one neighbor in
@@ -378,7 +492,7 @@ func (p *Partition) MoveValid(area, toRegionID int) bool {
 	if !p.AdjacentToRegion(area, toRegionID) {
 		return false
 	}
-	if !p.g.ConnectedSubsetExcluding(from.Members, area) {
+	if !p.g.ConnectedSubsetExcludingScratch(p.scratch, from.Members, area) {
 		return false
 	}
 	if !from.Tracker.SatisfiedAllAfterRemove(area, from.Members) {
@@ -401,21 +515,29 @@ func (p *Partition) AllSatisfied() bool {
 // graph and evaluator.
 func (p *Partition) Clone() *Partition {
 	c := &Partition{
-		ds:      p.ds,
-		g:       p.g,
-		ev:      p.ev,
-		dis:     p.dis,
-		assign:  append([]int(nil), p.assign...),
-		regions: make(map[int]*Region, len(p.regions)),
-		nextID:  p.nextID,
+		ds:       p.ds,
+		g:        p.g,
+		ev:       p.ev,
+		dis:      p.dis,
+		assign:   append([]int(nil), p.assign...),
+		regions:  make(map[int]*Region, len(p.regions)),
+		nextID:   p.nextID,
+		krn:      p.krn,
+		kernelOn: p.kernelOn,
+		scratch:  p.g.NewScratch(),
 	}
 	for id, r := range p.regions {
-		c.regions[id] = &Region{
+		cr := &Region{
 			ID:      r.ID,
 			Members: append([]int(nil), r.Members...),
 			Tracker: r.Tracker.Clone(),
 			Hetero:  r.Hetero,
+			epoch:   r.epoch,
 		}
+		// Fenwick trees are per-partition state: rebuild rather than
+		// deep-copy so the pool stays private to each clone.
+		c.maybeBuildFen(cr)
+		c.regions[id] = cr
 	}
 	return c
 }

@@ -1,0 +1,170 @@
+package tabu
+
+import (
+	"sync"
+	"testing"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/region"
+)
+
+// bench8k lazily builds the census "8k" dataset (8049 areas) partitioned
+// into ~32 BFS-grown regions. Built once per test binary; benchmarks clone
+// it per iteration so the base stays pristine.
+var bench8k struct {
+	once sync.Once
+	p    *region.Partition
+	err  error
+}
+
+func eightKPartition(b *testing.B) *region.Partition {
+	b.Helper()
+	bench8k.once.Do(func() {
+		ds, err := census.NamedSeeded("8k", 1)
+		if err != nil {
+			bench8k.err = err
+			return
+		}
+		set := constraint.Set{constraint.AtLeast(constraint.Count, "", 1)}
+		ev, err := constraint.NewEvaluator(set, ds.Column)
+		if err != nil {
+			bench8k.err = err
+			return
+		}
+		p, err := region.NewPartition(ds, ev)
+		if err != nil {
+			bench8k.err = err
+			return
+		}
+		growRegions(p, 32)
+		if err := p.Validate(); err != nil {
+			bench8k.err = err
+			return
+		}
+		bench8k.p = p
+	})
+	if bench8k.err != nil {
+		b.Fatal(bench8k.err)
+	}
+	return bench8k.p
+}
+
+// growRegions carves the dataset into k contiguous regions by round-robin
+// BFS growth from seeds spread across each graph component. The direct
+// growth (rather than maxp/azp construction) avoids an import cycle: those
+// packages import tabu.
+func growRegions(p *region.Partition, k int) {
+	g := p.Graph()
+	n := p.Dataset().N()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var frontiers [][]int
+	for _, comp := range g.ComponentMembers() {
+		kc := k * len(comp) / n
+		if kc == 0 {
+			kc = 1
+		}
+		for i := 0; i < kc; i++ {
+			seed := comp[i*len(comp)/kc]
+			if assign[seed] != -1 {
+				continue
+			}
+			assign[seed] = len(frontiers)
+			frontiers = append(frontiers, []int{seed})
+		}
+	}
+	for {
+		changed := false
+		for r := range frontiers {
+			var next []int
+			for _, u := range frontiers[r] {
+				for _, v := range g.Neighbors(u) {
+					if assign[v] == -1 {
+						assign[v] = r
+						next = append(next, v)
+						changed = true
+					}
+				}
+			}
+			frontiers[r] = next
+		}
+		if !changed {
+			break
+		}
+	}
+	members := make([][]int, len(frontiers))
+	for a, r := range assign {
+		if r >= 0 {
+			members[r] = append(members[r], a)
+		}
+	}
+	for _, m := range members {
+		if len(m) > 0 {
+			p.NewRegion(m...)
+		}
+	}
+}
+
+// BenchmarkTabuImprove8k is the acceptance benchmark: one full Improve run
+// on the 8k dataset. "kernel" is this PR's hot path; "naive" is the
+// pre-kernel fallback (naive deltas, full candidate scans, per-candidate
+// BFS); "kerneloff" isolates the Fenwick kernel's share by running the
+// incremental searcher with naive deltas.
+func BenchmarkTabuImprove8k(b *testing.B) {
+	base := eightKPartition(b)
+	for _, mode := range []struct {
+		name     string
+		kernel   bool
+		fallback bool
+	}{
+		{"kernel", true, false},
+		{"naive", false, true},
+		{"kerneloff", false, false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{Tenure: 10, MaxNoImprove: 30, Fallback: mode.fallback}
+			var moves int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := base.Clone()
+				p.SetHeteroKernel(mode.kernel)
+				b.StartTimer()
+				st := Improve(p, cfg)
+				moves += st.Moves
+			}
+			b.ReportMetric(float64(moves)/float64(b.N), "moves/op")
+		})
+	}
+}
+
+// BenchmarkCandidateRefresh isolates the per-move candidate maintenance:
+// apply a move, rebuild the affected candidate entries, undo.
+func BenchmarkCandidateRefresh(b *testing.B) {
+	base := eightKPartition(b)
+	for _, mode := range []struct {
+		name   string
+		kernel bool
+	}{{"kernel", true}, {"naive", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := base.Clone()
+			p.SetHeteroKernel(mode.kernel)
+			s := newSearcher(p, Heterogeneity{})
+			if s.heap.len() == 0 {
+				b.Fatal("no candidate moves on the benchmark partition")
+			}
+			it := s.heap.min()
+			a, to := it.key.area, it.key.to
+			from := p.Assignment(a)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.MoveArea(a, to)
+				s.refreshAround(from, to)
+				p.MoveArea(a, from)
+				s.refreshAround(to, from)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package tabu
+
+// candItem is one candidate move (area -> target region) with its cached
+// objective delta and its position in the candidate heap.
+type candItem struct {
+	key   moveKey
+	delta float64
+	pos   int
+}
+
+// candHeap is an indexed binary min-heap of candidate moves ordered by
+// (delta, area, to). The total order makes the pop sequence deterministic
+// for a given item set regardless of insertion history, which keeps move
+// selection reproducible run-to-run. Items track their position so removal
+// and re-keying cost O(log n) without scanning.
+type candHeap struct {
+	items []*candItem
+}
+
+func (h *candHeap) len() int { return len(h.items) }
+
+// min returns the smallest item without removing it, or nil when empty.
+func (h *candHeap) min() *candItem {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *candHeap) push(it *candItem) {
+	it.pos = len(h.items)
+	h.items = append(h.items, it)
+	h.up(it.pos)
+}
+
+func (h *candHeap) pop() *candItem {
+	it := h.items[0]
+	h.removeAt(0)
+	return it
+}
+
+// remove deletes the item from the heap; the item must be present.
+func (h *candHeap) remove(it *candItem) {
+	h.removeAt(it.pos)
+}
+
+func (h *candHeap) removeAt(i int) {
+	last := len(h.items) - 1
+	h.items[i].pos = -1
+	if i != last {
+		h.items[i] = h.items[last]
+		h.items[i].pos = i
+	}
+	h.items = h.items[:last]
+	if i < last {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+// candLess is the heap order: delta first, then the deterministic key order.
+func candLess(a, b *candItem) bool {
+	if a.delta != b.delta {
+		return a.delta < b.delta
+	}
+	return less(a.key, b.key)
+}
+
+func (h *candHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candLess(h.items[i], h.items[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts item i toward the leaves, reporting whether it moved.
+func (h *candHeap) down(i int) bool {
+	start := i
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && candLess(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !candLess(h.items[smallest], h.items[i]) {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return i > start
+}
+
+func (h *candHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].pos = i
+	h.items[j].pos = j
+}

@@ -2,6 +2,13 @@
 // moves areas between neighboring regions to minimize the overall
 // heterogeneity H(P) without violating any user-defined constraint, without
 // breaking contiguity, and without changing the number of regions p.
+//
+// The hot path is fully incremental: candidate moves live in an indexed
+// min-heap keyed by (delta, area, target), the current objective value is
+// maintained by applied deltas instead of per-iteration recomputation, and
+// donor-side removability is derived once per region mutation epoch from a
+// single articulation-point pass rather than one BFS per candidate. See
+// docs/ALGORITHM.md ("Complexity of the incremental kernels").
 package tabu
 
 import (
@@ -25,6 +32,15 @@ type Config struct {
 	// Seed is reserved for stochastic tie-breaking; the current
 	// implementation is deterministic (best-delta, lowest key).
 	Seed int64
+	// RecordMoves captures the applied move sequence in Stats.MoveLog,
+	// for differential testing of kernel variants.
+	RecordMoves bool
+	// Fallback routes the search through the pre-kernel reference
+	// implementation (full candidate scans, per-iteration objective
+	// recompute, one BFS per donor check). It picks the same moves as the
+	// incremental searcher; use it for differential testing and as the
+	// "before" leg of benchmarks.
+	Fallback bool
 }
 
 // Stats reports what the search did.
@@ -35,6 +51,13 @@ type Stats struct {
 	Improvements int
 	// BestScore is the objective value of the returned partition.
 	BestScore float64
+	// MoveLog is the applied move sequence (only when Config.RecordMoves).
+	MoveLog []Move
+}
+
+// Move is one applied relocation, recorded when Config.RecordMoves is set.
+type Move struct {
+	Area, From, To int
 }
 
 type moveKey struct {
@@ -45,12 +68,49 @@ type appliedMove struct {
 	area, from, to int
 }
 
-// searcher holds the candidate-move incremental state.
+// searcher holds the candidate-move incremental state. All per-area state
+// lives in flat arrays indexed by area id — the refresh loop runs a few
+// hundred times per move, so map hashing would dominate the whole search.
 type searcher struct {
-	p    *region.Partition
-	obj  Objective
-	cand map[moveKey]float64 // valid moves and their objective delta
-	tabu map[moveKey]int     // forbidden until iteration
+	p   *region.Partition
+	obj Objective
+	// byArea indexes the live candidate items of each area; the same
+	// items sit in the heap.
+	byArea [][]*candItem
+	heap   candHeap
+	tabu   map[moveKey]int // forbidden until iteration
+	// remOK[a] caches a's donor-side contiguity verdict; valid while
+	// remEpoch[region] matches the region's mutation epoch.
+	remOK    []bool
+	remEpoch map[int]int
+	// cur is the running objective value, updated by applied deltas and
+	// resynced from Objective.Total on improvements to stop float drift.
+	cur float64
+	// popped is the reusable pick-move scratch buffer.
+	popped []*candItem
+	// affStamp/affList/stamp dedupe the refresh set without clearing.
+	affStamp []int
+	affList  []int
+	stamp    int
+	// targets is the per-area candidate-target scratch buffer.
+	targets []int
+	// free recycles candidate items across refreshes.
+	free []*candItem
+}
+
+func newSearcher(p *region.Partition, obj Objective) *searcher {
+	n := p.Dataset().N()
+	s := &searcher{
+		p:        p,
+		obj:      obj,
+		byArea:   make([][]*candItem, n),
+		tabu:     make(map[moveKey]int),
+		remOK:    make([]bool, n),
+		remEpoch: make(map[int]int),
+		affStamp: make([]int, n),
+	}
+	s.buildAllCandidates()
+	return s
 }
 
 // Improve runs Tabu search on the partition in place. On return the
@@ -61,44 +121,53 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	if cfg.Tenure <= 0 {
 		cfg.Tenure = 10
 	}
+	if cfg.Fallback {
+		return improveFallback(p, cfg)
+	}
 	obj := cfg.Objective
 	if obj == nil {
 		obj = Heterogeneity{}
 	}
-	s := &searcher{
-		p:    p,
-		obj:  obj,
-		cand: make(map[moveKey]float64),
-		tabu: make(map[moveKey]int),
-	}
-	s.buildAllCandidates()
+	s := newSearcher(p, obj)
+	s.cur = obj.Total(p)
 
-	best := obj.Total(p)
+	best := s.cur
 	stats := Stats{BestScore: best}
 	var undo []appliedMove
 	noImprove := 0
 	for iter := 1; noImprove < cfg.MaxNoImprove; iter++ {
-		key, delta, ok := s.pickMove(iter, best)
+		it, ok := s.pickMove(iter, best)
 		if !ok {
 			break
 		}
-		from := p.Assignment(key.area)
-		p.MoveArea(key.area, key.to)
+		from := p.Assignment(it.key.area)
+		p.MoveArea(it.key.area, it.key.to)
+		s.cur += it.delta
 		stats.Moves++
-		undo = append(undo, appliedMove{area: key.area, from: from, to: key.to})
-		s.tabu[moveKey{area: key.area, to: from}] = iter + cfg.Tenure
-		s.refreshAround(from, key.to)
+		if cfg.RecordMoves {
+			stats.MoveLog = append(stats.MoveLog, Move{Area: it.key.area, From: from, To: it.key.to})
+		}
+		undo = append(undo, appliedMove{area: it.key.area, from: from, to: it.key.to})
+		s.tabu[moveKey{area: it.key.area, to: from}] = iter + cfg.Tenure
+		s.refreshAround(from, it.key.to)
 
-		h := s.obj.Total(p)
-		if h < best-1e-9 {
-			best = h
+		improved := false
+		if s.cur < best-1e-9 {
+			// Re-evaluate exactly on candidate improvements so the
+			// incremental value cannot drift across long runs.
+			s.cur = s.obj.Total(p)
+			if s.cur < best-1e-9 {
+				improved = true
+			}
+		}
+		if improved {
+			best = s.cur
 			stats.Improvements++
 			noImprove = 0
 			undo = undo[:0] // commit: current state is the new best
 		} else {
 			noImprove++
 		}
-		_ = delta
 	}
 	// Revert any moves made after the last improvement so the partition
 	// ends at the best state found.
@@ -110,24 +179,59 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	return stats
 }
 
-// pickMove selects the valid candidate with the smallest delta that is not
-// tabu, or is tabu but would produce a new global best (aspiration).
-func (s *searcher) pickMove(iter int, best float64) (moveKey, float64, bool) {
-	cur := s.obj.Total(s.p)
-	var bestKey moveKey
-	bestDelta := math.Inf(1)
-	found := false
-	for k, d := range s.cand {
-		if exp, isTabu := s.tabu[k]; isTabu && iter < exp {
-			if cur+d >= best-1e-9 {
-				continue // tabu and not aspirational
+// tieEps is the tolerance under which two deltas count as tied and the
+// deterministic key order breaks the tie. Exact float equality would let
+// representation noise (e.g. kernel-on vs kernel-off rounding) pick
+// different moves for semantically equal deltas.
+func tieEps(d float64) float64 {
+	a := math.Abs(d)
+	if a < 1 {
+		a = 1
+	}
+	return 1e-9 * a
+}
+
+// eligible reports whether the candidate may be applied at this iteration:
+// not tabu, or tabu but yielding a new global best (aspiration).
+func (s *searcher) eligible(it *candItem, iter int, best float64) bool {
+	if exp, isTabu := s.tabu[it.key]; isTabu && iter < exp {
+		return s.cur+it.delta < best-1e-9
+	}
+	return true
+}
+
+// pickMove selects the eligible candidate with the smallest delta; deltas
+// within tieEps of the smallest eligible delta count as tied and the lowest
+// (area, to) key wins. Candidates are popped off the heap in ascending
+// (delta, key) order and pushed back afterwards, so a pick costs
+// O(k log |cand|) where k is the number of tabu-blocked moves ahead of the
+// winner plus the tie window — typically a handful — instead of a full
+// candidate scan.
+func (s *searcher) pickMove(iter int, best float64) (*candItem, bool) {
+	popped := s.popped[:0]
+	var chosen *candItem
+	for s.heap.len() > 0 {
+		it := s.heap.pop()
+		popped = append(popped, it)
+		if !s.eligible(it, iter, best) {
+			continue
+		}
+		chosen = it
+		limit := it.delta + tieEps(it.delta)
+		for s.heap.len() > 0 && s.heap.min().delta <= limit {
+			tied := s.heap.pop()
+			popped = append(popped, tied)
+			if s.eligible(tied, iter, best) && less(tied.key, chosen.key) {
+				chosen = tied
 			}
 		}
-		if d < bestDelta || (d == bestDelta && found && less(k, bestKey)) {
-			bestKey, bestDelta, found = k, d, true
-		}
+		break
 	}
-	return bestKey, bestDelta, found
+	for _, it := range popped {
+		s.heap.push(it)
+	}
+	s.popped = popped[:0]
+	return chosen, chosen != nil
 }
 
 func less(a, b moveKey) bool {
@@ -146,65 +250,138 @@ func (s *searcher) buildAllCandidates() {
 	}
 }
 
-// addCandidatesFor registers all valid moves of one area.
+// canRemove answers the donor-side contiguity check through the per-epoch
+// articulation cache: the first query after a region mutation computes
+// removability for every member in one pass, later queries are O(1).
+func (s *searcher) canRemove(r *region.Region, area int) bool {
+	if e, ok := s.remEpoch[r.ID]; !ok || e != r.Version() {
+		rem := s.p.RemovableMembers(r.ID)
+		for i, m := range r.Members {
+			s.remOK[m] = rem[i]
+		}
+		s.remEpoch[r.ID] = r.Version()
+	}
+	return s.remOK[area]
+}
+
+// addCandidatesFor registers all valid moves of one area. The caller must
+// have dropped the area's previous candidates first.
 func (s *searcher) addCandidatesFor(a int) {
 	p := s.p
 	from := p.Assignment(a)
 	if from == region.Unassigned {
 		return
 	}
+	// Enumerate distinct neighbor regions first: interior areas bail out
+	// before paying any donor-side check. Degrees are small, so the dedup
+	// is a linear scan of the scratch slice.
+	targets := s.targets[:0]
+	for _, nb := range p.Graph().Neighbors(a) {
+		to := p.Assignment(nb)
+		if to == region.Unassigned || to == from {
+			continue
+		}
+		dup := false
+		for _, prev := range targets {
+			if prev == to {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			targets = append(targets, to)
+		}
+	}
+	s.targets = targets
+	if len(targets) == 0 {
+		return
+	}
 	r := p.Region(from)
 	if r.Size() <= 1 {
 		return // moving the only member would change p
 	}
-	// Donor-side checks are target independent.
-	canRemove := p.CanRemove(a) && r.Tracker.SatisfiedAllAfterRemove(a, r.Members)
-	if !canRemove {
+	if !s.canRemove(r, a) || !r.Tracker.SatisfiedAllAfterRemove(a, r.Members) {
 		return
 	}
-	seen := map[int]bool{from: true}
-	for _, nb := range p.Graph().Neighbors(a) {
-		to := p.Assignment(nb)
-		if to == region.Unassigned || seen[to] {
-			continue
-		}
-		seen[to] = true
+	for _, to := range targets {
 		if !p.Region(to).Tracker.SatisfiedAllAfterAdd(a) {
 			continue
 		}
-		s.cand[moveKey{area: a, to: to}] = s.obj.DeltaMove(p, a, to)
+		it := s.newItem(moveKey{area: a, to: to}, s.obj.DeltaMove(p, a, to))
+		s.byArea[a] = append(s.byArea[a], it)
+		s.heap.push(it)
 	}
 }
 
+// newItem recycles a candidate item from the free list.
+func (s *searcher) newItem(key moveKey, delta float64) *candItem {
+	if n := len(s.free); n > 0 {
+		it := s.free[n-1]
+		s.free = s.free[:n-1]
+		it.key, it.delta = key, delta
+		return it
+	}
+	return &candItem{key: key, delta: delta}
+}
+
+// dropCandidates removes all candidate items of one area.
+func (s *searcher) dropCandidates(a int) {
+	items := s.byArea[a]
+	if len(items) == 0 {
+		return
+	}
+	for _, it := range items {
+		s.heap.remove(it)
+		s.free = append(s.free, it)
+	}
+	s.byArea[a] = items[:0]
+}
+
 // refreshAround rebuilds the candidate entries affected by a move between
-// regions f and t: moves by members of f or t, and moves by areas adjacent
-// to them (whose target sets or deltas may have changed).
+// regions f and t. An area's candidate set can only have changed if it is a
+// member of f or t adjacent to a foreign region (its delta, removability, or
+// tracker feasibility moved), an external area adjacent to an f/t member
+// (its candidates toward f or t went stale), or an f/t member holding stale
+// candidates from before it turned interior. Any candidate targeting f or t
+// belongs to an area adjacent to one of their members, so this set also
+// covers stale targets. Interior members — the bulk of both regions — are
+// skipped entirely.
 func (s *searcher) refreshAround(f, t int) {
 	p := s.p
-	affected := make(map[int]bool)
-	mark := func(id int) {
+	s.stamp++
+	s.affList = s.affList[:0]
+	mark := func(a int) {
+		if s.affStamp[a] != s.stamp {
+			s.affStamp[a] = s.stamp
+			s.affList = append(s.affList, a)
+		}
+	}
+	collect := func(id int) {
 		r := p.Region(id)
 		if r == nil {
 			return
 		}
-		for _, a := range r.Members {
-			affected[a] = true
-			for _, nb := range p.Graph().Neighbors(a) {
-				if p.Assignment(nb) != region.Unassigned {
-					affected[nb] = true
+		for _, m := range r.Members {
+			foreign := false
+			for _, nb := range p.Graph().Neighbors(m) {
+				to := p.Assignment(nb)
+				if to == region.Unassigned || to == id {
+					continue
 				}
+				foreign = true
+				if to != f && to != t {
+					mark(nb)
+				}
+			}
+			if foreign || len(s.byArea[m]) > 0 {
+				mark(m)
 			}
 		}
 	}
-	mark(f)
-	mark(t)
-	// Drop stale entries for affected areas or into the changed regions.
-	for k := range s.cand {
-		if affected[k.area] || k.to == f || k.to == t {
-			delete(s.cand, k)
-		}
-	}
-	for a := range affected {
+	collect(f)
+	collect(t)
+	for _, a := range s.affList {
+		s.dropCandidates(a)
 		s.addCandidatesFor(a)
 	}
 }

@@ -114,6 +114,9 @@ func TestImproveZeroBudgetNoMoves(t *testing.T) {
 	if p.Heterogeneity() != before {
 		t.Error("partition changed with zero budget")
 	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestImproveSingletonRegionsNoValidMoves(t *testing.T) {
@@ -142,6 +145,9 @@ func TestImproveSingletonRegionsNoValidMoves(t *testing.T) {
 	if p.NumRegions() != 3 {
 		t.Error("p changed")
 	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestImproveEndsAtBestState(t *testing.T) {
@@ -156,6 +162,9 @@ func TestImproveEndsAtBestState(t *testing.T) {
 	stats := Improve(p, Config{Tenure: 2, MaxNoImprove: 25})
 	if math.Abs(p.Heterogeneity()-stats.BestScore) > 1e-9 {
 		t.Errorf("final H %g != best %g", p.Heterogeneity(), stats.BestScore)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
 	}
 }
 
