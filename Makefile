@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-tabu
+.PHONY: build test race vet fmt-check check bench bench-smoke bench-tabu bench-obs
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# fmt-check fails if any file needs gofmt (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel multi-start in internal/fact shares a mutex-guarded
 # best-candidate slot that plain `go test` never exercises for races).
@@ -22,6 +26,16 @@ check: vet race
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# bench-smoke runs the telemetry-overhead benchmark once: a fast CI-grade
+# check that the tabu hot path still builds and runs in all three telemetry
+# states (absent / disabled / enabled). Overhead numbers need bench-obs.
+bench-smoke:
+	$(GO) test -run xxx -bench BenchmarkTabuTelemetry -benchtime 1x ./internal/tabu/
+
 # bench-tabu regenerates BENCH_tabu.json (local-search before/after).
 bench-tabu:
 	$(GO) run ./cmd/empbench -benchtabu -scale 1
+
+# bench-obs regenerates BENCH_obs.json (tabu throughput, telemetry off/on).
+bench-obs:
+	$(GO) run ./cmd/empbench -benchobs -scale 1

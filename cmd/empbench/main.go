@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"emp/internal/experiments"
+	"emp/internal/obs"
+	"emp/internal/obswire"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 		noTabu     = flag.Bool("notabu", false, "skip the local-search phase")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		benchTabu  = flag.Bool("benchtabu", false, "run the tabu kernel benchmark and write BENCH_tabu.json")
+		benchObs   = flag.Bool("benchobs", false, "run the telemetry overhead benchmark and write BENCH_obs.json")
+		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +47,29 @@ func main() {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
+		return
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		reg := obs.Default()
+		reg.SetSink(obs.NewJSONLSink(f))
+		reg.SetEnabled(true)
+		obswire.Enable(reg)
+		defer obswire.Enable(nil)
+	}
+	if *benchObs {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteObsBench(cfg, "BENCH_obs.json")
+		if err != nil {
+			log.Fatalf("benchobs: %v", err)
+		}
+		fmt.Printf("tabu improve on %s (%d areas, %d regions): telemetry off %.3fs, on %.3fs, overhead %.2f%%\n",
+			res.Dataset, res.Areas, res.Regions, res.SecondsOff, res.SecondsOn, res.OverheadPct)
+		fmt.Println("wrote BENCH_obs.json")
 		return
 	}
 	if *benchTabu {

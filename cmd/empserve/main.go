@@ -2,42 +2,123 @@
 //
 // Usage:
 //
-//	empserve -addr :8080
+//	empserve -addr :8080 [-debug-addr :8081] [-max-body 67108864] [-quiet]
 //
 // Endpoints:
 //
 //	GET  /healthz   liveness probe
 //	GET  /datasets  list the named synthetic datasets
+//	GET  /metrics   Prometheus text metrics (solver + HTTP)
 //	POST /solve     run an EMP query; body:
 //	                {"named":"2k","scale":0.25,
 //	                 "constraints":"MIN(POP16UP) <= 3000; SUM(TOTALPOP) >= 20k",
 //	                 "options":{"seed":1,"local_search":"tabu"}}
 //	                or with an inline {"dataset":{...}} document in the
 //	                schema produced by empgen.
+//
+// With -debug-addr set, a second listener serves net/http/pprof under
+// /debug/pprof/ and the expvar JSON (including an "emp" metrics snapshot)
+// under /debug/vars. Keep it on a loopback or otherwise private address.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight solves get
+// up to 15 seconds to finish before the listener is torn down.
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"emp/internal/obs"
+	"emp/internal/obswire"
 	"emp/internal/server"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("empserve: ")
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address for pprof + expvar (e.g. 127.0.0.1:8081)")
+		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "POST /solve body size limit in bytes")
+		quiet     = flag.Bool("quiet", false, "disable the per-request access log")
+	)
 	flag.Parse()
 
+	// Wire the solver packages into the process-wide registry so /metrics
+	// reflects every solve served by this process.
+	reg := obs.Default()
+	reg.SetEnabled(true)
+	obswire.Enable(reg)
+	expvar.Publish("emp", expvar.Func(func() any { return reg.Snapshot() }))
+
+	cfg := server.Config{Registry: reg, MaxBodyBytes: *maxBody}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.Handler(),
+		Handler:           server.NewHandler(cfg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listening on %s (pprof + expvar)", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer dbg.Close()
 	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		log.Printf("shutting down (in-flight requests get 15s)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+// debugMux serves pprof and expvar on the opt-in debug listener. The routes
+// are registered on a private mux (not http.DefaultServeMux) so nothing
+// leaks onto the public API listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"emp/internal/obs"
 	"emp/internal/region"
 	"emp/internal/tabu"
 )
@@ -41,6 +42,43 @@ type Stats struct {
 	Improvements int
 	// BestScore is the objective value of the returned partition.
 	BestScore float64
+	// Counters profiles the run's hot-path work in the same units as the
+	// Tabu searcher (heap fields stay zero: the annealer has no heap).
+	Counters tabu.Counters
+}
+
+// pkgMetrics holds the registry-bound counters; nil until SetMetrics.
+type pkgMetrics struct {
+	runs     *obs.Counter
+	proposed *obs.Counter
+	accepted *obs.Counter
+	span     *obs.Timer
+}
+
+var met pkgMetrics
+
+// SetMetrics binds the package's process-wide counters to the registry (nil
+// unbinds). Call during startup wiring, before runs begin.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		met = pkgMetrics{}
+		return
+	}
+	met = pkgMetrics{
+		runs:     r.Counter("emp_anneal_runs_total", "Annealer Improve invocations."),
+		proposed: r.Counter("emp_anneal_proposed_total", "Annealer move proposals."),
+		accepted: r.Counter("emp_anneal_accepted_total", "Annealer accepted moves."),
+		span:     r.Timer("emp_anneal_improve_duration", "Wall time of anneal.Improve runs."),
+	}
+}
+
+// flushRun records one finished run into the bound registry.
+func flushRun(st *Stats, p *region.Partition) {
+	m := met
+	m.runs.Inc()
+	m.proposed.Add(int64(st.Proposed))
+	m.accepted.Add(int64(st.Accepted))
+	p.FlushObs()
 }
 
 type appliedMove struct {
@@ -50,6 +88,14 @@ type appliedMove struct {
 // Improve runs simulated annealing on the partition in place; on return the
 // partition is at the best state visited.
 func Improve(p *region.Partition, cfg Config) Stats {
+	sp := met.span.Start()
+	stats := improve(p, cfg)
+	sp.End()
+	flushRun(&stats, p)
+	return stats
+}
+
+func improve(p *region.Partition, cfg Config) Stats {
 	obj := cfg.Objective
 	if obj == nil {
 		obj = tabu.Heterogeneity{}
@@ -84,9 +130,11 @@ func Improve(p *region.Partition, cfg Config) Stats {
 			continue
 		}
 		stats.Proposed++
+		stats.Counters.RemovabilityPasses++ // MoveValid's donor-side BFS
 		if !p.MoveValid(area, to) {
 			continue
 		}
+		stats.Counters.CandidateEvals++
 		delta := obj.DeltaMove(p, area, to)
 		if temp == 0 {
 			// Auto-calibrate: the first scored proposal sets T so a

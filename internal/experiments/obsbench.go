@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"emp/internal/census"
+	"emp/internal/maxp"
+	"emp/internal/obs"
+	"emp/internal/obswire"
+	"emp/internal/tabu"
+)
+
+// ObsBenchResult is the JSON artifact written by `empbench -benchobs`: the
+// Tabu local-search wall time on the 8k dataset with solver telemetry absent
+// (packages unbound, the library default) versus enabled (bound to a live
+// registry, the empserve configuration). The overhead target from the
+// telemetry design is <= 3% enabled; the disabled state is not separately
+// timed because an unbound *obs.Counter and a disabled one share the same
+// single-branch guard.
+type ObsBenchResult struct {
+	Dataset          string  `json:"dataset"`
+	Areas            int     `json:"areas"`
+	Regions          int     `json:"regions"`
+	Scale            float64 `json:"scale"`
+	Seed             int64   `json:"seed"`
+	Repetitions      int     `json:"repetitions"`
+	MovesOff         int     `json:"moves_off"`
+	MovesOn          int     `json:"moves_on"`
+	SecondsOff       float64 `json:"seconds_off"`
+	SecondsOn        float64 `json:"seconds_on"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	CandidateEvalsOn int64   `json:"candidate_evals_on"`
+}
+
+// ObsBench measures telemetry overhead on the Tabu hot path. The start
+// partition comes from the max-p construction phase on the 8k dataset; the
+// identical clone is improved repeatedly with the solver packages unbound and
+// then bound to an enabled registry, taking the minimum wall time of each leg
+// so scheduler noise doesn't inflate the comparison. The prior obswire
+// binding (if any) is restored before returning.
+func ObsBench(cfg Config) (*ObsBenchResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "8k")
+	if err != nil {
+		return nil, err
+	}
+	var total float64
+	for _, v := range ds.Column(census.AttrTotalPop) {
+		total += v
+	}
+	res, err := maxp.Solve(ds, census.AttrTotalPop, total/40, maxp.Config{
+		Seed:            cfg.Seed,
+		SkipLocalSearch: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := res.Partition
+
+	const reps = 3
+	improve := func() (time.Duration, tabu.Stats) {
+		bestDur := time.Duration(0)
+		var bestStats tabu.Stats
+		for i := 0; i < reps; i++ {
+			p := base.Clone()
+			start := time.Now()
+			st := tabu.Improve(p, tabu.Config{Tenure: 10, MaxNoImprove: 30})
+			d := time.Since(start)
+			if i == 0 || d < bestDur {
+				bestDur, bestStats = d, st
+			}
+		}
+		return bestDur, bestStats
+	}
+
+	obswire.Enable(nil)
+	durOff, statsOff := improve()
+
+	reg := obs.New()
+	reg.SetEnabled(true)
+	obswire.Enable(reg)
+	durOn, statsOn := improve()
+	obswire.Enable(nil)
+
+	out := &ObsBenchResult{
+		Dataset:          "8k",
+		Areas:            ds.N(),
+		Regions:          base.NumRegions(),
+		Scale:            cfg.Scale,
+		Seed:             cfg.Seed,
+		Repetitions:      reps,
+		MovesOff:         statsOff.Moves,
+		MovesOn:          statsOn.Moves,
+		SecondsOff:       durOff.Seconds(),
+		SecondsOn:        durOn.Seconds(),
+		CandidateEvalsOn: statsOn.Counters.CandidateEvals,
+	}
+	if durOff > 0 {
+		out.OverheadPct = (durOn.Seconds() - durOff.Seconds()) / durOff.Seconds() * 100
+	}
+	return out, nil
+}
+
+// WriteObsBench runs ObsBench and writes the JSON artifact.
+func WriteObsBench(cfg Config, path string) (*ObsBenchResult, error) {
+	res, err := ObsBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("obsbench: %w", err)
+	}
+	return res, nil
+}

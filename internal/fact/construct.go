@@ -55,6 +55,7 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cf
 	b.growRegions()        // Step 2 (Step 1's filtering/seeding is in feas)
 	b.adjustCounting()     // Step 3
 	b.dissolveInfeasible() // finalize: drop regions that could not be fixed
+	p.FlushObs()           // fold this iteration's region counters into the registry
 	return p, nil
 }
 

@@ -135,10 +135,18 @@ type Result struct {
 	// HeteroBefore and HeteroAfter record H(P) before and after the local
 	// search phase.
 	HeteroBefore, HeteroAfter float64
-	// ConstructionTime and LocalSearchTime are the phase wall times.
+	// FeasibilityTime, ConstructionTime and LocalSearchTime are the phase
+	// wall times.
+	FeasibilityTime                   time.Duration
 	ConstructionTime, LocalSearchTime time.Duration
 	// TabuMoves is the number of accepted local-search moves.
 	TabuMoves int
+	// Improvements is the number of local-search new-best events.
+	Improvements int
+	// Search profiles the local-search hot path (candidate evaluations,
+	// heap churn, tabu rejections, removability passes), whichever
+	// algorithm ran.
+	Search tabu.Counters
 	// Iterations is the number of construction iterations executed.
 	Iterations int
 }
@@ -166,19 +174,23 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	feasSpan := met.spanFeas.Start()
 	feas, err := Analyze(ds, ev)
+	feasTime := feasSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Feasibility: feas}
+	res := &Result{Feasibility: feas, FeasibilityTime: feasTime}
 	if !feas.Feasible {
+		met.solves.Inc()
+		met.infeasible.Inc()
 		return res, fmt.Errorf("%w: %v", ErrInfeasible, feas.Reasons)
 	}
 
 	// Phase 2: construction, keeping the partition with the highest p
 	// (ties broken by lower heterogeneity, then by iteration index so
 	// parallel and sequential runs pick the same winner).
-	start := time.Now()
+	consSpan := met.spanCons.Start()
 	candidates := make([]*region.Partition, cfg.Iterations)
 	workers := cfg.Parallelism
 	if workers < 1 {
@@ -230,14 +242,14 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 			best = p
 		}
 	}
-	res.ConstructionTime = time.Since(start)
+	res.ConstructionTime = consSpan.End()
 	res.Partition = best
 	res.HeteroBefore = best.Heterogeneity()
 
 	// Phase 3: local search (Tabu by default, simulated annealing as the
 	// alternative) on the configured objective.
 	if !cfg.SkipLocalSearch && best.NumRegions() > 1 {
-		start = time.Now()
+		searchSpan := met.spanSearch.Start()
 		switch cfg.LocalSearch {
 		case LocalSearchAnneal:
 			stats := anneal.Improve(best, anneal.Config{
@@ -246,6 +258,8 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 				Steps:     20 * cfg.MaxNoImprove,
 			})
 			res.TabuMoves = stats.Accepted
+			res.Improvements = stats.Improvements
+			res.Search = stats.Counters
 		default:
 			stats := tabu.Improve(best, tabu.Config{
 				Objective:    cfg.Objective,
@@ -254,11 +268,15 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 				Seed:         cfg.Seed,
 			})
 			res.TabuMoves = stats.Moves
+			res.Improvements = stats.Improvements
+			res.Search = stats.Counters
 		}
-		res.LocalSearchTime = time.Since(start)
+		res.LocalSearchTime = searchSpan.End()
 	}
 	res.HeteroAfter = best.Heterogeneity()
 	res.P = best.NumRegions()
 	res.Unassigned = best.UnassignedCount()
+	met.solves.Inc()
+	emitSolveEvent(res, cfg.LocalSearch.String())
 	return res, nil
 }

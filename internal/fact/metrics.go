@@ -1,0 +1,64 @@
+package fact
+
+import "emp/internal/obs"
+
+// pkgMetrics holds the registry-bound telemetry of the FaCT driver: the
+// solve counters and one span timer per phase. All fields are nil until
+// SetMetrics binds a registry; obs types are nil-receiver safe, so Solve
+// pays one branch per phase when telemetry is absent.
+type pkgMetrics struct {
+	reg        *obs.Registry
+	solves     *obs.Counter
+	infeasible *obs.Counter
+	spanFeas   *obs.Timer
+	spanCons   *obs.Timer
+	spanSearch *obs.Timer
+}
+
+var met pkgMetrics
+
+// SetMetrics binds the package's process-wide counters to the registry (nil
+// unbinds). Call during startup wiring, before solves begin.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		met = pkgMetrics{}
+		return
+	}
+	const phaseHelp = "Wall time of fact.Solve phases."
+	met = pkgMetrics{
+		reg: r,
+		solves: r.Counter("emp_solve_total",
+			"Completed fact.Solve runs (including infeasible outcomes)."),
+		infeasible: r.Counter("emp_solve_infeasible_total",
+			"fact.Solve runs proven infeasible in phase 1."),
+		spanFeas:   r.Timer(`emp_solve_phase_duration{phase="feasibility"}`, phaseHelp),
+		spanCons:   r.Timer(`emp_solve_phase_duration{phase="construction"}`, phaseHelp),
+		spanSearch: r.Timer(`emp_solve_phase_duration{phase="local_search"}`, phaseHelp),
+	}
+}
+
+// emitSolveEvent streams a structured summary of one finished solve to the
+// registry's sink (no-op without a sink or when disabled).
+func emitSolveEvent(res *Result, localSearch string) {
+	r := met.reg
+	if r == nil || !r.Enabled() || !r.HasSink() {
+		return
+	}
+	r.Emit(obs.Event{
+		Kind: "solve",
+		Name: "fact",
+		Fields: map[string]float64{
+			"p":              float64(res.P),
+			"unassigned":     float64(res.Unassigned),
+			"iterations":     float64(res.Iterations),
+			"hetero_before":  res.HeteroBefore,
+			"hetero_after":   res.HeteroAfter,
+			"moves":          float64(res.TabuMoves),
+			"improvements":   float64(res.Improvements),
+			"feasibility_ns": float64(res.FeasibilityTime.Nanoseconds()),
+			"construct_ns":   float64(res.ConstructionTime.Nanoseconds()),
+			"search_ns":      float64(res.LocalSearchTime.Nanoseconds()),
+		},
+		Labels: map[string]string{"local_search": localSearch},
+	})
+}

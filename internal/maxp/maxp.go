@@ -16,9 +16,34 @@ import (
 
 	"emp/internal/constraint"
 	"emp/internal/data"
+	"emp/internal/obs"
 	"emp/internal/region"
 	"emp/internal/tabu"
 )
+
+// pkgMetrics holds the registry-bound telemetry; nil until SetMetrics.
+type pkgMetrics struct {
+	solves   *obs.Counter
+	spanCons *obs.Timer
+	spanTabu *obs.Timer
+}
+
+var met pkgMetrics
+
+// SetMetrics binds the package's process-wide counters to the registry (nil
+// unbinds). Call during startup wiring, before solves begin.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		met = pkgMetrics{}
+		return
+	}
+	const phaseHelp = "Wall time of maxp.Solve phases."
+	met = pkgMetrics{
+		solves:   r.Counter("emp_maxp_solves_total", "Completed maxp.Solve runs."),
+		spanCons: r.Timer(`emp_maxp_phase_duration{phase="construction"}`, phaseHelp),
+		spanTabu: r.Timer(`emp_maxp_phase_duration{phase="local_search"}`, phaseHelp),
+	}
+}
 
 // Config tunes the baseline.
 type Config struct {
@@ -74,6 +99,7 @@ func Solve(ds *data.Dataset, attr string, threshold float64, cfg Config) (*Resul
 		return nil, err
 	}
 	res := &Result{}
+	consSpan := met.spanCons.Start()
 	start := time.Now()
 	var best *region.Partition
 	for it := 0; it < cfg.Iterations; it++ {
@@ -88,21 +114,23 @@ func Solve(ds *data.Dataset, attr string, threshold float64, cfg Config) (*Resul
 		}
 	}
 	res.ConstructionTime = time.Since(start)
+	consSpan.End()
 	res.Partition = best
 	res.HeteroBefore = best.Heterogeneity()
 	if !cfg.SkipLocalSearch && best.NumRegions() > 1 {
-		start = time.Now()
+		tabuSpan := met.spanTabu.Start()
 		stats := tabu.Improve(best, tabu.Config{
 			Tenure:       cfg.TabuLength,
 			MaxNoImprove: cfg.MaxNoImprove,
 			Seed:         cfg.Seed,
 		})
-		res.LocalSearchTime = time.Since(start)
+		res.LocalSearchTime = tabuSpan.End()
 		res.TabuMoves = stats.Moves
 	}
 	res.HeteroAfter = best.Heterogeneity()
 	res.P = best.NumRegions()
 	res.Unassigned = best.UnassignedCount()
+	met.solves.Inc()
 	return res, nil
 }
 
@@ -180,6 +208,7 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, threshold float64, rn
 			}
 		}
 		if !updated {
+			p.FlushObs() // fold this pass's region counters into the registry
 			return p, nil
 		}
 	}

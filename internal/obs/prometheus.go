@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// series is one rendered sample: a metric name (with labels) and its value.
+type series struct {
+	family string // base name grouping HELP/TYPE lines
+	typ    string // counter | gauge | summary
+	name   string
+	value  string
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (v0.0.4): counters and gauges one sample each, timers as a
+// summary-without-quantiles (`_seconds_sum` + `_seconds_count`) plus a
+// `_seconds_max` gauge. Output is sorted by family then sample name, so the
+// rendering is deterministic and diff-friendly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	rows := make([]series, 0, len(r.counters)+len(r.gauges)+3*len(r.timers))
+	for name, c := range r.counters {
+		rows = append(rows, series{
+			family: familyOf(name), typ: "counter",
+			name: name, value: fmt.Sprintf("%d", c.Value()),
+		})
+	}
+	for name, g := range r.gauges {
+		rows = append(rows, series{
+			family: familyOf(name), typ: "gauge",
+			name: name, value: fmt.Sprintf("%d", g.Value()),
+		})
+	}
+	for name, t := range r.timers {
+		base, labels := splitLabels(name)
+		fam := base + "_seconds"
+		rows = append(rows,
+			series{family: fam, typ: "summary",
+				name:  fam + "_sum" + labels,
+				value: formatSeconds(t.sumNs.Load())},
+			series{family: fam, typ: "summary",
+				name:  fam + "_count" + labels,
+				value: fmt.Sprintf("%d", t.count.Load())},
+			series{family: fam + "_max", typ: "gauge",
+				name:  fam + "_max" + labels,
+				value: formatSeconds(t.maxNs.Load())},
+		)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].family != rows[j].family {
+			return rows[i].family < rows[j].family
+		}
+		return rows[i].name < rows[j].name
+	})
+	prev := ""
+	for _, s := range rows {
+		if s.family != prev {
+			prev = s.family
+			// Timer families registered as "<base>_seconds" share the
+			// "<base>_seconds_max" gauge's help text.
+			h := help[s.family]
+			if h == "" {
+				h = help[strings.TrimSuffix(s.family, "_max")]
+			}
+			if h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.family, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.family, s.typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.name, s.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler serves the registry as `GET /metrics` Prometheus text.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Snapshot returns every sample as a flat name -> value map (timers expanded
+// into `_seconds_sum`/`_seconds_count`/`_seconds_max`). It backs the expvar
+// export and keeps tests independent of the text rendering.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+3*len(r.timers))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = float64(g.Value())
+	}
+	for name, t := range r.timers {
+		base, labels := splitLabels(name)
+		out[base+"_seconds_sum"+labels] = float64(t.sumNs.Load()) / 1e9
+		out[base+"_seconds_count"+labels] = float64(t.count.Load())
+		out[base+"_seconds_max"+labels] = float64(t.maxNs.Load()) / 1e9
+	}
+	return out
+}
+
+// splitLabels separates `name{labels}` into its base name and the `{labels}`
+// suffix (empty when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// formatSeconds renders nanoseconds as decimal seconds without float noise.
+func formatSeconds(ns int64) string {
+	return fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+}

@@ -1,0 +1,27 @@
+// Package obswire binds every solver package's telemetry to one obs
+// registry. It exists so the obs core stays dependency-free: obs cannot
+// import the solver packages, and each solver package only knows its own
+// counters, so the fan-out lives here and is shared by cmd/empserve,
+// cmd/empbench and the tests.
+package obswire
+
+import (
+	"emp/internal/anneal"
+	"emp/internal/fact"
+	"emp/internal/maxp"
+	"emp/internal/obs"
+	"emp/internal/region"
+	"emp/internal/tabu"
+)
+
+// Enable binds the fact, tabu, region, anneal and maxp telemetry to the
+// registry; Enable(nil) unbinds everything, restoring the zero-cost absent
+// state. Like the per-package SetMetrics calls it forwards to, it must run
+// during startup wiring, before solves begin.
+func Enable(r *obs.Registry) {
+	fact.SetMetrics(r)
+	tabu.SetMetrics(r)
+	region.SetMetrics(r)
+	anneal.SetMetrics(r)
+	maxp.SetMetrics(r)
+}

@@ -93,6 +93,7 @@ func (p *Partition) acquireFen() *regionFen {
 		f := p.fenPool[n-1]
 		p.fenPool = p.fenPool[:n-1]
 		f.reset()
+		p.stats.FenwickPoolReuse++
 		return f
 	}
 	k := p.krn

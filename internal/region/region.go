@@ -68,6 +68,9 @@ type Partition struct {
 	// It makes Partition methods non-reentrant; a Partition was already
 	// not safe for concurrent use.
 	scratch *graph.Scratch
+	// stats accumulates hot-path telemetry as plain ints (the partition is
+	// single-goroutine); see PartitionStats and FlushObs.
+	stats PartitionStats
 }
 
 // NewPartition creates an empty partition (all areas unassigned) for the
@@ -128,6 +131,7 @@ func (p *Partition) maybeBuildFen(r *Region) {
 		p.krn.add(f, a)
 	}
 	r.fen = f
+	p.stats.FenwickBuilds++
 }
 
 // regionAbsDiff returns Σ_m Σ_attr |d_attr(area) − d_attr(m)| over the
@@ -136,8 +140,10 @@ func (p *Partition) maybeBuildFen(r *Region) {
 // is zero under both paths.
 func (p *Partition) regionAbsDiff(r *Region, area int) float64 {
 	if r.fen != nil {
+		p.stats.KernelQueries++
 		return p.krn.query(r.fen, area)
 	}
+	p.stats.NaiveScans++
 	return p.sumAbsDiff(area, r.Members)
 }
 

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ctxKey namespaces the package's context values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDFrom returns the request id stored by the middleware, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ridSeq disambiguates ids generated within the same nanosecond.
+var ridSeq atomic.Uint64
+
+// newRequestID returns a process-unique id: the wall clock in hex plus a
+// sequence number. Not cryptographic — it is a correlation token for logs
+// and error bodies, not a secret.
+func newRequestID() string {
+	return fmt.Sprintf("%x-%04x", time.Now().UnixNano(), ridSeq.Add(1)&0xffff)
+}
+
+// withRequestID tags the request with an id: an incoming X-Request-ID is
+// honored (truncated to a sane length) so ids can propagate through
+// frontends; otherwise one is generated. The id is echoed in the response
+// header and stored in the context for error bodies and the access log.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		} else if len(id) > 64 {
+			id = id[:64]
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// statusRecorder captures the response status and size for the access log
+// and the HTTP metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// routeLabel maps the request path onto the fixed route set so metric label
+// cardinality stays bounded no matter what clients probe.
+func routeLabel(path string) string {
+	switch path {
+	case "/solve", "/datasets", "/healthz", "/metrics":
+		return path
+	default:
+		return "other"
+	}
+}
+
+// instrument wraps the handler with the in-flight gauge, per-route request
+// counters and duration timers, and the optional access log.
+func (s *service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		route := routeLabel(r.URL.Path)
+		span := s.reg.Timer(
+			fmt.Sprintf("emp_http_request_duration{path=%q}", route),
+			"Wall time of HTTP requests by route.",
+		).Start()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		dur := span.End()
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.reg.Counter(
+			fmt.Sprintf("emp_http_requests_total{path=%q,code=\"%d\"}", route, rec.status),
+			"HTTP requests by route and status code.",
+		).Inc()
+		if s.accessLog != nil {
+			fmt.Fprintf(s.accessLog, "%s %s %s %d %dB %s rid=%s\n",
+				time.Now().UTC().Format(time.RFC3339), r.Method, r.URL.Path,
+				rec.status, rec.bytes, dur.Truncate(time.Microsecond), RequestIDFrom(r.Context()))
+		}
+	})
+}

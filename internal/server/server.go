@@ -1,7 +1,10 @@
 // Package server exposes EMP regionalization as a small JSON-over-HTTP
 // service: POST a dataset (inline or by synthetic name) plus a constraint
-// query, get back the regions, the feasibility report and solver timings.
-// Useful for hosting the solver behind data-analysis frontends.
+// query, get back the regions, the feasibility report, solver timings and
+// the solver's hot-path telemetry. The handler also serves the process
+// metrics registry as Prometheus text on GET /metrics, tags every request
+// with an X-Request-ID, and can write an access log. Useful for hosting the
+// solver behind data-analysis frontends.
 package server
 
 import (
@@ -9,14 +12,43 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"emp/internal/census"
 	"emp/internal/constraint"
 	"emp/internal/data"
 	"emp/internal/fact"
+	"emp/internal/obs"
 	"emp/internal/region"
 )
+
+// Config tunes the HTTP service.
+type Config struct {
+	// Registry receives the HTTP metrics and backs GET /metrics; nil means
+	// obs.Default(). NewHandler enables it — serving implies measuring.
+	// Solver-internal metrics land in the same registry only when the
+	// caller also wires the solver packages (see internal/obswire), which
+	// cmd/empserve does.
+	Registry *obs.Registry
+	// AccessLog receives one line per request; nil disables access logging.
+	AccessLog io.Writer
+	// MaxBodyBytes bounds POST /solve request bodies; 0 means 64 MiB.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes is the POST /solve body limit when Config.MaxBodyBytes
+// is zero: large enough for a full inline 50k-area dataset document, small
+// enough to keep one request from exhausting memory.
+const DefaultMaxBodyBytes = 64 << 20
+
+// service carries the handler state.
+type service struct {
+	reg       *obs.Registry
+	accessLog io.Writer
+	maxBody   int64
+	inflight  *obs.Gauge
+}
 
 // SolveRequest is the POST /solve body.
 type SolveRequest struct {
@@ -45,44 +77,85 @@ type SolveOptions struct {
 	Parallelism     int    `json:"parallelism,omitempty"`
 }
 
+// SolverStats folds the solver's per-request telemetry into the response:
+// the phase-1 wall time and the local-search hot-path counters (see
+// docs/OBSERVABILITY.md for their definitions).
+type SolverStats struct {
+	FeasibilityMillis  float64 `json:"feasibility_ms"`
+	Iterations         int     `json:"iterations"`
+	Improvements       int     `json:"improvements"`
+	CandidateEvals     int64   `json:"candidate_evals"`
+	HeapPushes         int64   `json:"heap_pushes"`
+	HeapPops           int64   `json:"heap_pops"`
+	TabuRejections     int64   `json:"tabu_rejections"`
+	RemovabilityPasses int64   `json:"removability_passes"`
+}
+
 // SolveResponse is the POST /solve result.
 type SolveResponse struct {
-	P                  int      `json:"p"`
-	Unassigned         int      `json:"unassigned"`
-	HeteroBefore       float64  `json:"hetero_before"`
-	HeteroAfter        float64  `json:"hetero_after"`
-	HeteroImprovement  float64  `json:"hetero_improvement"`
-	Assignment         []int    `json:"assignment"`
-	ConstructionMillis float64  `json:"construction_ms"`
-	LocalSearchMillis  float64  `json:"local_search_ms"`
-	TabuMoves          int      `json:"tabu_moves"`
-	InvalidAreas       int      `json:"invalid_areas"`
-	SeedAreas          int      `json:"seed_areas"`
-	Warnings           []string `json:"warnings,omitempty"`
+	RequestID          string      `json:"request_id,omitempty"`
+	P                  int         `json:"p"`
+	Unassigned         int         `json:"unassigned"`
+	HeteroBefore       float64     `json:"hetero_before"`
+	HeteroAfter        float64     `json:"hetero_after"`
+	HeteroImprovement  float64     `json:"hetero_improvement"`
+	Assignment         []int       `json:"assignment"`
+	ConstructionMillis float64     `json:"construction_ms"`
+	LocalSearchMillis  float64     `json:"local_search_ms"`
+	TabuMoves          int         `json:"tabu_moves"`
+	InvalidAreas       int         `json:"invalid_areas"`
+	SeedAreas          int         `json:"seed_areas"`
+	Warnings           []string    `json:"warnings,omitempty"`
+	Solver             SolverStats `json:"solver_stats"`
 }
 
-// errorBody is the JSON error payload.
+// errorBody is the JSON error payload; the request id lets clients quote a
+// failing call when reporting it against the access log.
 type errorBody struct {
-	Error   string   `json:"error"`
-	Reasons []string `json:"reasons,omitempty"`
+	Error     string   `json:"error"`
+	Reasons   []string `json:"reasons,omitempty"`
+	RequestID string   `json:"request_id,omitempty"`
 }
 
-// Handler returns the service's HTTP handler.
-func Handler() http.Handler {
+// NewHandler builds the service's HTTP handler: the API routes wrapped in
+// request-id, access-log and metrics middleware.
+func NewHandler(cfg Config) http.Handler {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.SetEnabled(true)
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &service{
+		reg:       reg,
+		accessLog: cfg.AccessLog,
+		maxBody:   maxBody,
+		inflight:  reg.Gauge("emp_http_in_flight", "HTTP requests currently being served."),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", handleHealth)
-	mux.HandleFunc("/datasets", handleDatasets)
-	mux.HandleFunc("/solve", handleSolve)
-	return mux
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.Handle("/metrics", reg.MetricsHandler())
+	// Request-id first so the instrument layer (access log) sees the id.
+	return withRequestID(s.instrument(mux))
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request) {
+// Handler returns the service's HTTP handler with default settings (the
+// process-wide registry, no access log, the default body limit).
+func Handler() http.Handler { return NewHandler(Config{}) }
+
+func (s *service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func handleDatasets(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; use GET", r.Method), nil)
 		return
 	}
 	type entry struct {
@@ -99,29 +172,36 @@ func handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; use POST", r.Method), nil)
 		return
 	}
 	var req SolveRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d byte limit", tooLarge.Limit), nil)
+			return
+		}
+		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	ds, err := datasetFor(&req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
 	set, err := constraint.ParseSet(req.Constraints)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
 	if len(set) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "no constraints given"})
+		s.writeError(w, r, http.StatusBadRequest, "no constraints given", nil)
 		return
 	}
 	cfg := fact.Config{
@@ -138,23 +218,22 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 	case "anneal":
 		cfg.LocalSearch = fact.LocalSearchAnneal
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown local_search %q", req.Options.LocalSearch)})
+		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("unknown local_search %q", req.Options.LocalSearch), nil)
 		return
 	}
 
 	res, err := fact.Solve(ds, set, cfg)
 	if err != nil {
 		if errors.Is(err, fact.ErrInfeasible) {
-			writeJSON(w, http.StatusUnprocessableEntity, errorBody{
-				Error:   "infeasible",
-				Reasons: res.Feasibility.Reasons,
-			})
+			s.writeError(w, r, http.StatusUnprocessableEntity, "infeasible", res.Feasibility.Reasons)
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildResponse(res))
+	resp := buildResponse(res)
+	resp.RequestID = RequestIDFrom(r.Context())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func buildResponse(res *fact.Result) SolveResponse {
@@ -185,6 +264,16 @@ func buildResponse(res *fact.Result) SolveResponse {
 		InvalidAreas:       res.Feasibility.InvalidCount,
 		SeedAreas:          res.Feasibility.SeedCount,
 		Warnings:           res.Feasibility.Warnings,
+		Solver: SolverStats{
+			FeasibilityMillis:  float64(res.FeasibilityTime.Microseconds()) / 1000,
+			Iterations:         res.Iterations,
+			Improvements:       res.Improvements,
+			CandidateEvals:     res.Search.CandidateEvals,
+			HeapPushes:         res.Search.HeapPushes,
+			HeapPops:           res.Search.HeapPops,
+			TabuRejections:     res.Search.TabuRejections,
+			RemovabilityPasses: res.Search.RemovabilityPasses,
+		},
 	}
 }
 
@@ -209,6 +298,11 @@ func seedOr1(seed int64) int64 {
 		return 1
 	}
 	return seed
+}
+
+// writeError sends the JSON error payload, tagged with the request id.
+func (s *service) writeError(w http.ResponseWriter, r *http.Request, status int, msg string, reasons []string) {
+	writeJSON(w, status, errorBody{Error: msg, Reasons: reasons, RequestID: RequestIDFrom(r.Context())})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

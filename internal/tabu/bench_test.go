@@ -6,6 +6,7 @@ import (
 
 	"emp/internal/census"
 	"emp/internal/constraint"
+	"emp/internal/obs"
 	"emp/internal/region"
 )
 
@@ -131,6 +132,50 @@ func BenchmarkTabuImprove8k(b *testing.B) {
 				b.StopTimer()
 				p := base.Clone()
 				p.SetHeteroKernel(mode.kernel)
+				b.StartTimer()
+				st := Improve(p, cfg)
+				moves += st.Moves
+			}
+			b.ReportMetric(float64(moves)/float64(b.N), "moves/op")
+		})
+	}
+}
+
+// BenchmarkTabuTelemetry is the telemetry-overhead acceptance benchmark: the
+// same kernel Improve run with the package metrics absent (unbound, the
+// library default), bound to a disabled registry, and bound to an enabled
+// one. The acceptance bar is <= 3% slowdown enabled and noise-level when
+// disabled; the hot loops only bump plain struct ints either way, so the
+// difference is confined to the per-run flush. Only tabu and region are
+// bound here (not via obswire — that package imports this one).
+func BenchmarkTabuTelemetry(b *testing.B) {
+	base := eightKPartition(b)
+	modes := []struct {
+		name string
+		bind func()
+	}{
+		{"absent", func() { SetMetrics(nil); region.SetMetrics(nil) }},
+		{"disabled", func() {
+			r := obs.New()
+			SetMetrics(r)
+			region.SetMetrics(r)
+		}},
+		{"enabled", func() {
+			r := obs.New()
+			r.SetEnabled(true)
+			SetMetrics(r)
+			region.SetMetrics(r)
+		}},
+	}
+	defer func() { SetMetrics(nil); region.SetMetrics(nil) }()
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			mode.bind()
+			cfg := Config{Tenure: 10, MaxNoImprove: 30}
+			var moves int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := base.Clone()
 				b.StartTimer()
 				st := Improve(p, cfg)
 				moves += st.Moves

@@ -17,6 +17,9 @@ type fallbackSearcher struct {
 	obj  Objective
 	cand map[moveKey]float64 // valid moves and their objective delta
 	tabu map[moveKey]int     // forbidden until iteration
+	// cnt accumulates the run's hot-path counters (no heap here, so the
+	// heap fields stay zero).
+	cnt Counters
 }
 
 // improveFallback mirrors Improve using the fallback searcher. It must pick
@@ -69,6 +72,7 @@ func improveFallback(p *region.Partition, cfg Config) Stats {
 		p.MoveArea(m.area, m.from)
 	}
 	stats.BestScore = s.obj.Total(p)
+	stats.Counters = s.cnt
 	return stats
 }
 
@@ -84,7 +88,11 @@ func (s *fallbackSearcher) pickMove(iter int, best float64) (moveKey, bool) {
 	}
 	dmin, found := math.Inf(1), false
 	for k, d := range s.cand {
-		if eligible(k, d) && d < dmin {
+		if !eligible(k, d) {
+			s.cnt.TabuRejections++
+			continue
+		}
+		if d < dmin {
 			dmin, found = d, true
 		}
 	}
@@ -125,6 +133,7 @@ func (s *fallbackSearcher) addCandidatesFor(a int) {
 	if r.Size() <= 1 {
 		return // moving the only member would change p
 	}
+	s.cnt.RemovabilityPasses++
 	if !p.CanRemove(a) || !r.Tracker.SatisfiedAllAfterRemove(a, r.Members) {
 		return
 	}
@@ -138,6 +147,7 @@ func (s *fallbackSearcher) addCandidatesFor(a int) {
 		if !p.Region(to).Tracker.SatisfiedAllAfterAdd(a) {
 			continue
 		}
+		s.cnt.CandidateEvals++
 		s.cand[moveKey{area: a, to: to}] = s.obj.DeltaMove(p, a, to)
 	}
 }

@@ -15,6 +15,9 @@ type candItem struct {
 // and re-keying cost O(log n) without scanning.
 type candHeap struct {
 	items []*candItem
+	// pushes/pops profile the heap churn (pops include removals); plain
+	// ints, read into Stats.Counters at the end of a search.
+	pushes, pops int64
 }
 
 func (h *candHeap) len() int { return len(h.items) }
@@ -28,6 +31,7 @@ func (h *candHeap) min() *candItem {
 }
 
 func (h *candHeap) push(it *candItem) {
+	h.pushes++
 	it.pos = len(h.items)
 	h.items = append(h.items, it)
 	h.up(it.pos)
@@ -45,6 +49,7 @@ func (h *candHeap) remove(it *candItem) {
 }
 
 func (h *candHeap) removeAt(i int) {
+	h.pops++
 	last := len(h.items) - 1
 	h.items[i].pos = -1
 	if i != last {

@@ -1,0 +1,106 @@
+package tabu
+
+import (
+	"emp/internal/obs"
+	"emp/internal/region"
+)
+
+// Counters is the per-run hot-path work profile of a local search. The
+// searchers accumulate these as plain ints (the search is single-goroutine)
+// and flush them into the registry bound by SetMetrics once per Improve
+// call, so the per-candidate cost of telemetry is an ordinary integer
+// increment regardless of whether a registry is bound.
+//
+// The kernel and fallback searchers count the same quantities but do
+// different amounts of work by design (that asymmetry is the point of the
+// kernel), so the values are comparable within one implementation only.
+type Counters struct {
+	// CandidateEvals counts objective DeltaMove evaluations.
+	CandidateEvals int64
+	// HeapPushes and HeapPops count candidate-heap operations, including
+	// the pick loop's pop/re-push churn and removals (always 0 for the
+	// fallback searcher, which has no heap).
+	HeapPushes, HeapPops int64
+	// TabuRejections counts candidates skipped because they were tabu
+	// without meeting the aspiration criterion.
+	TabuRejections int64
+	// RemovabilityPasses counts donor-side contiguity computations: whole-
+	// region articulation passes for the kernel searcher, per-candidate
+	// BFS checks for the fallback.
+	RemovabilityPasses int64
+}
+
+// add folds o into c.
+func (c *Counters) add(o Counters) {
+	c.CandidateEvals += o.CandidateEvals
+	c.HeapPushes += o.HeapPushes
+	c.HeapPops += o.HeapPops
+	c.TabuRejections += o.TabuRejections
+	c.RemovabilityPasses += o.RemovabilityPasses
+}
+
+// pkgMetrics holds the registry-bound counters; nil until SetMetrics binds
+// a registry (obs counters are nil-receiver safe).
+type pkgMetrics struct {
+	runs, fallbackRuns *obs.Counter
+	moves              *obs.Counter
+	improvements       *obs.Counter
+	candidateEvals     *obs.Counter
+	heapPushes         *obs.Counter
+	heapPops           *obs.Counter
+	tabuRejections     *obs.Counter
+	removability       *obs.Counter
+	span               *obs.Timer
+}
+
+var met pkgMetrics
+
+// SetMetrics binds the package's process-wide counters to the registry (nil
+// unbinds). Call during startup wiring, before searches run.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		met = pkgMetrics{}
+		return
+	}
+	met = pkgMetrics{
+		runs: r.Counter("emp_tabu_runs_total{impl=\"kernel\"}",
+			"Tabu Improve invocations by searcher implementation."),
+		fallbackRuns: r.Counter("emp_tabu_runs_total{impl=\"fallback\"}",
+			"Tabu Improve invocations by searcher implementation."),
+		moves: r.Counter("emp_tabu_moves_total",
+			"Accepted local-search moves (including later-reverted ones)."),
+		improvements: r.Counter("emp_tabu_improvements_total",
+			"New-best events during local search."),
+		candidateEvals: r.Counter("emp_tabu_candidate_evals_total",
+			"Objective delta evaluations of candidate moves."),
+		heapPushes: r.Counter("emp_tabu_heap_pushes_total",
+			"Candidate-heap pushes, including pick-loop re-pushes."),
+		heapPops: r.Counter("emp_tabu_heap_pops_total",
+			"Candidate-heap pops and removals."),
+		tabuRejections: r.Counter("emp_tabu_rejections_total",
+			"Candidates skipped as tabu without aspiration."),
+		removability: r.Counter("emp_tabu_removability_passes_total",
+			"Donor-side contiguity computations (articulation passes or BFS checks)."),
+		span: r.Timer("emp_tabu_improve_duration",
+			"Wall time of tabu.Improve runs."),
+	}
+}
+
+// flushRun records one finished Improve run into the bound registry and
+// folds the partition's region-level counters along with it.
+func flushRun(st *Stats, fallback bool, p *region.Partition) {
+	m := met
+	if fallback {
+		m.fallbackRuns.Inc()
+	} else {
+		m.runs.Inc()
+	}
+	m.moves.Add(int64(st.Moves))
+	m.improvements.Add(int64(st.Improvements))
+	m.candidateEvals.Add(st.Counters.CandidateEvals)
+	m.heapPushes.Add(st.Counters.HeapPushes)
+	m.heapPops.Add(st.Counters.HeapPops)
+	m.tabuRejections.Add(st.Counters.TabuRejections)
+	m.removability.Add(st.Counters.RemovabilityPasses)
+	p.FlushObs()
+}

@@ -53,6 +53,9 @@ type Stats struct {
 	BestScore float64
 	// MoveLog is the applied move sequence (only when Config.RecordMoves).
 	MoveLog []Move
+	// Counters profiles the run's hot-path work (candidate evaluations,
+	// heap churn, tabu rejections, removability passes).
+	Counters Counters
 }
 
 // Move is one applied relocation, recorded when Config.RecordMoves is set.
@@ -96,6 +99,9 @@ type searcher struct {
 	targets []int
 	// free recycles candidate items across refreshes.
 	free []*candItem
+	// cnt accumulates the run's hot-path counters as plain ints; flushed
+	// into Stats and the bound registry at the end of Improve.
+	cnt Counters
 }
 
 func newSearcher(p *region.Partition, obj Objective) *searcher {
@@ -121,8 +127,12 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	if cfg.Tenure <= 0 {
 		cfg.Tenure = 10
 	}
+	sp := met.span.Start()
 	if cfg.Fallback {
-		return improveFallback(p, cfg)
+		stats := improveFallback(p, cfg)
+		sp.End()
+		flushRun(&stats, true, p)
+		return stats
 	}
 	obj := cfg.Objective
 	if obj == nil {
@@ -176,6 +186,11 @@ func Improve(p *region.Partition, cfg Config) Stats {
 		p.MoveArea(m.area, m.from)
 	}
 	stats.BestScore = s.obj.Total(p)
+	stats.Counters = s.cnt
+	stats.Counters.HeapPushes = s.heap.pushes
+	stats.Counters.HeapPops = s.heap.pops
+	sp.End()
+	flushRun(&stats, false, p)
 	return stats
 }
 
@@ -195,7 +210,11 @@ func tieEps(d float64) float64 {
 // not tabu, or tabu but yielding a new global best (aspiration).
 func (s *searcher) eligible(it *candItem, iter int, best float64) bool {
 	if exp, isTabu := s.tabu[it.key]; isTabu && iter < exp {
-		return s.cur+it.delta < best-1e-9
+		if s.cur+it.delta < best-1e-9 {
+			return true // aspiration: tabu but a new global best
+		}
+		s.cnt.TabuRejections++
+		return false
 	}
 	return true
 }
@@ -255,6 +274,7 @@ func (s *searcher) buildAllCandidates() {
 // removability for every member in one pass, later queries are O(1).
 func (s *searcher) canRemove(r *region.Region, area int) bool {
 	if e, ok := s.remEpoch[r.ID]; !ok || e != r.Version() {
+		s.cnt.RemovabilityPasses++
 		rem := s.p.RemovableMembers(r.ID)
 		for i, m := range r.Members {
 			s.remOK[m] = rem[i]
@@ -307,6 +327,7 @@ func (s *searcher) addCandidatesFor(a int) {
 		if !p.Region(to).Tracker.SatisfiedAllAfterAdd(a) {
 			continue
 		}
+		s.cnt.CandidateEvals++
 		it := s.newItem(moveKey{area: a, to: to}, s.obj.DeltaMove(p, a, to))
 		s.byArea[a] = append(s.byArea[a], it)
 		s.heap.push(it)
