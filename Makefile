@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check bench bench-smoke bench-tabu bench-obs
+.PHONY: build test race vet fmt-check check bench bench-smoke bench-tabu bench-obs bench-serve
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,9 @@ bench-tabu:
 # bench-obs regenerates BENCH_obs.json (tabu throughput, telemetry off/on).
 bench-obs:
 	$(GO) run ./cmd/empbench -benchobs -scale 1
+
+# bench-serve regenerates BENCH_serve.json (cold / hot-cache / deduped
+# POST /solve throughput through the serving subsystem). The default scale
+# keeps it CI-grade; see docs/SERVING.md for what the legs mean.
+bench-serve:
+	$(GO) run ./cmd/empbench -benchserve

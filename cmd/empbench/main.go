@@ -39,6 +39,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		benchTabu  = flag.Bool("benchtabu", false, "run the tabu kernel benchmark and write BENCH_tabu.json")
 		benchObs   = flag.Bool("benchobs", false, "run the telemetry overhead benchmark and write BENCH_obs.json")
+		benchServe = flag.Bool("benchserve", false, "run the serving throughput benchmark and write BENCH_serve.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
@@ -70,6 +71,18 @@ func main() {
 		fmt.Printf("tabu improve on %s (%d areas, %d regions): telemetry off %.3fs, on %.3fs, overhead %.2f%%\n",
 			res.Dataset, res.Areas, res.Regions, res.SecondsOff, res.SecondsOn, res.OverheadPct)
 		fmt.Println("wrote BENCH_obs.json")
+		return
+	}
+	if *benchServe {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteServeBench(cfg, "BENCH_serve.json")
+		if err != nil {
+			log.Fatalf("benchserve: %v", err)
+		}
+		fmt.Printf("serve on %s scale %g: cold %.1f req/s, hot %.1f req/s (%.0fx), dedup %d concurrent in %.3fs (%d joined)\n",
+			res.Dataset, res.Scale, res.ColdPerSec, res.HotPerSec, res.HotColdSpeedup,
+			res.DedupConcurrent, res.DedupSeconds, res.DedupJoined)
+		fmt.Println("wrote BENCH_serve.json")
 		return
 	}
 	if *benchTabu {

@@ -3,6 +3,14 @@
 // Usage:
 //
 //	empserve -addr :8080 [-debug-addr :8081] [-max-body 67108864] [-quiet]
+//	         [-workers N] [-queue-depth N] [-queue-wait 10s]
+//	         [-dataset-cache-mb 256] [-result-cache-mb 64]
+//
+// Solves run on a bounded worker pool behind a FIFO queue; when the queue
+// is full or a queued solve exceeds -queue-wait the request is shed with
+// 429 and a Retry-After hint. Generated datasets and finished results are
+// cached (see docs/SERVING.md); identical concurrent requests share one
+// solve execution.
 //
 // Endpoints:
 //
@@ -45,10 +53,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("empserve: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		debugAddr = flag.String("debug-addr", "", "optional debug listen address for pprof + expvar (e.g. 127.0.0.1:8081)")
-		maxBody   = flag.Int64("max-body", server.DefaultMaxBodyBytes, "POST /solve body size limit in bytes")
-		quiet     = flag.Bool("quiet", false, "disable the per-request access log")
+		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address for pprof + expvar (e.g. 127.0.0.1:8081)")
+		maxBody    = flag.Int64("max-body", server.DefaultMaxBodyBytes, "POST /solve body size limit in bytes")
+		quiet      = flag.Bool("quiet", false, "disable the per-request access log")
+		workers    = flag.Int("workers", 0, "max concurrently executing solves (0 = GOMAXPROCS)")
+		queueDep   = flag.Int("queue-depth", 0, "solves allowed to wait for a worker (0 = 4x workers, negative = no queue)")
+		queueWait  = flag.Duration("queue-wait", server.DefaultQueueWait, "max time a solve may wait queued before a 429")
+		dsCacheMB  = flag.Int64("dataset-cache-mb", server.DefaultDatasetCacheBytes>>20, "dataset artifact cache budget in MiB (negative disables)")
+		resCacheMB = flag.Int64("result-cache-mb", server.DefaultResultCacheBytes>>20, "solve result cache budget in MiB (negative disables)")
 	)
 	flag.Parse()
 
@@ -59,7 +72,21 @@ func main() {
 	obswire.Enable(reg)
 	expvar.Publish("emp", expvar.Func(func() any { return reg.Snapshot() }))
 
-	cfg := server.Config{Registry: reg, MaxBodyBytes: *maxBody}
+	mb := func(v int64) int64 {
+		if v < 0 {
+			return -1 // disable the cache
+		}
+		return v << 20
+	}
+	cfg := server.Config{
+		Registry:          reg,
+		MaxBodyBytes:      *maxBody,
+		Workers:           *workers,
+		QueueDepth:        *queueDep,
+		QueueWait:         *queueWait,
+		DatasetCacheBytes: mb(*dsCacheMB),
+		ResultCacheBytes:  mb(*resCacheMB),
+	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
 	}

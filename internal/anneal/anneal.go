@@ -10,6 +10,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -32,7 +33,17 @@ type Config struct {
 	Steps int
 	// Seed drives the proposal randomness.
 	Seed int64
+	// Ctx, when non-nil, is polled every ctxCheckEvery steps: on
+	// cancellation the annealer stops proposing and returns through the
+	// normal path, so the partition still ends at the best state visited.
+	Ctx context.Context
 }
+
+// ctxCheckEvery is the cancellation poll interval in proposal steps. Anneal
+// steps are much lighter than tabu iterations (one proposal, no heap), so
+// polling Ctx.Err — which takes a mutex — every step would be measurable;
+// every 32nd step bounds the cancellation latency well under a millisecond.
+const ctxCheckEvery = 32
 
 // Stats reports what the annealer did.
 type Stats struct {
@@ -124,6 +135,9 @@ func improve(p *region.Partition, cfg Config) Stats {
 	stats := Stats{BestScore: best}
 
 	for step := 0; step < steps; step++ {
+		if cfg.Ctx != nil && step%ctxCheckEvery == 0 && cfg.Ctx.Err() != nil {
+			break // cancelled: fall through to the revert-to-best epilogue
+		}
 		area := assigned[rng.Intn(len(assigned))]
 		to, ok := randomTarget(p, rng, area)
 		if !ok {

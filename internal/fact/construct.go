@@ -1,6 +1,7 @@
 package fact
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -12,6 +13,7 @@ import (
 
 // builder carries the state of one construction-phase iteration.
 type builder struct {
+	ctx  context.Context
 	ds   *data.Dataset
 	ev   *constraint.Evaluator
 	g    *graph.Graph
@@ -27,8 +29,10 @@ type builder struct {
 }
 
 // construct runs one full construction iteration (Steps 1-3) and returns
-// the resulting partition.
-func construct(ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand) (*region.Partition, error) {
+// the resulting partition. The context is checked between sweeps; a
+// cancelled construction abandons the partial partition and returns the
+// context error.
+func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand) (*region.Partition, error) {
 	p, err := region.NewPartition(ds, ev)
 	if err != nil {
 		return nil, err
@@ -37,6 +41,7 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cf
 		p.SetHeteroKernel(false)
 	}
 	b := &builder{
+		ctx:    ctx,
 		ds:     ds,
 		ev:     ev,
 		g:      ds.Graph(),
@@ -55,8 +60,18 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cf
 	b.growRegions()        // Step 2 (Step 1's filtering/seeding is in feas)
 	b.adjustCounting()     // Step 3
 	b.dissolveInfeasible() // finalize: drop regions that could not be fixed
-	p.FlushObs()           // fold this iteration's region counters into the registry
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
+	}
+	p.FlushObs() // fold this iteration's region counters into the registry
 	return p, nil
+}
+
+// stopped reports whether the construction's context has been cancelled; the
+// sweep loops poll it at iteration boundaries so a cancelled solve exits
+// within one sweep instead of running Steps 2-3 to their fixpoints.
+func (b *builder) stopped() bool {
+	return b.ctx != nil && b.ctx.Err() != nil
 }
 
 // avgClass classifies an area against the primary AVG constraint's range:
@@ -160,6 +175,9 @@ func (b *builder) mergeAreasAlgorithm1(areas []int) {
 	}
 	c := b.ev.At(b.avgIdx)
 	for _, a := range areas {
+		if b.stopped() {
+			return
+		}
 		if b.p.Assignment(a) != region.Unassigned {
 			continue // absorbed by an earlier temporary region
 		}
@@ -232,7 +250,7 @@ func rangeDist(v float64, c constraint.Constraint) float64 {
 // each assignment may unlock neighbors.
 func (b *builder) assignEnclavesRound1() {
 	order := b.shuffledAreas()
-	for {
+	for !b.stopped() {
 		updated := false
 		for _, a := range order {
 			if b.p.Assignment(a) != region.Unassigned || b.feas.Invalid[a] {
@@ -301,7 +319,7 @@ func (b *builder) assignEnclavesRound2() {
 		return
 	}
 	order := b.shuffledAreas()
-	for {
+	for !b.stopped() {
 		updated := false
 		for _, a := range order {
 			if b.p.Assignment(a) != region.Unassigned || b.feas.Invalid[a] {
@@ -370,7 +388,7 @@ func (b *builder) combineForExtrema() {
 	if len(extremaIdx) == 0 {
 		return
 	}
-	for {
+	for !b.stopped() {
 		updated := false
 		for _, id := range b.p.RegionIDs() {
 			r := b.p.Region(id)
@@ -444,7 +462,7 @@ func (b *builder) adjustCounting() {
 		return
 	}
 	swapped := make(map[int]bool) // each area is swapped at most once
-	for {
+	for !b.stopped() {
 		changed := false
 		for _, id := range b.p.RegionIDs() {
 			r := b.p.Region(id)
@@ -491,7 +509,7 @@ func (b *builder) countingViolation(r *region.Region, countIdx []int) (below, ab
 // contiguous and fully valid; each area moves at most once overall.
 func (b *builder) pullAreas(r *region.Region, countIdx []int, swapped map[int]bool) bool {
 	moved := false
-	for {
+	for !b.stopped() {
 		below, _ := b.countingViolation(r, countIdx)
 		if !below {
 			return moved
@@ -528,6 +546,7 @@ func (b *builder) pullAreas(r *region.Region, countIdx []int, swapped map[int]bo
 			return moved
 		}
 	}
+	return moved
 }
 
 // mergeForLowerBound merges r with a neighbor region when the union
@@ -548,7 +567,7 @@ func (b *builder) mergeForLowerBound(r *region.Region) bool {
 // every other constraint. Removed areas become unassigned.
 func (b *builder) shedAreas(r *region.Region, countIdx []int) bool {
 	removedAny := false
-	for {
+	for !b.stopped() {
 		_, above := b.countingViolation(r, countIdx)
 		if !above {
 			return removedAny
@@ -578,6 +597,7 @@ func (b *builder) shedAreas(r *region.Region, countIdx []int) bool {
 			return removedAny
 		}
 	}
+	return removedAny
 }
 
 // removalKeepsNonCounting reports whether removing the area keeps the

@@ -1,6 +1,7 @@
 package fact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -165,6 +166,24 @@ func (r *Result) HeteroImprovement() float64 {
 // It returns ErrInfeasible (wrapped, with the report in Result) when phase 1
 // proves infeasibility.
 func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
+	return SolveCtx(context.Background(), ds, set, cfg)
+}
+
+// canceled wraps a context error so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold for callers.
+func canceled(err error) error {
+	return fmt.Errorf("fact: solve canceled: %w", err)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// between construction sweeps and local-search iterations (see tabu.Config.Ctx
+// and anneal.Config.Ctx), so a cancelled solve returns within one check
+// interval instead of running to completion. On cancellation the error wraps
+// ctx.Err() and the Result is nil; no partial partition escapes.
+func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ds.N() == 0 {
 		return nil, fmt.Errorf("fact: empty dataset")
 	}
@@ -202,8 +221,11 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 	var firstErr error
 	if workers == 1 {
 		for it := 0; it < cfg.Iterations; it++ {
+			if ctx.Err() != nil {
+				break
+			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
-			p, err := construct(ds, ev, feas, &cfg, rng)
+			p, err := construct(ctx, ds, ev, feas, &cfg, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -214,13 +236,20 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 		var mu sync.Mutex
 		sem := make(chan struct{}, workers)
 		for it := 0; it < cfg.Iterations; it++ {
+			// Acquire the semaphore before spawning so at most `workers`
+			// goroutines exist at a time, instead of creating all
+			// cfg.Iterations up front and parking them inside.
+			sem <- struct{}{}
+			if ctx.Err() != nil {
+				<-sem
+				break // stop admitting work; running iterations drain below
+			}
 			wg.Add(1)
 			go func(it int) {
 				defer wg.Done()
-				sem <- struct{}{}
 				defer func() { <-sem }()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
-				p, err := construct(ds, ev, feas, &cfg, rng)
+				p, err := construct(ctx, ds, ev, feas, &cfg, rng)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil && firstErr == nil {
@@ -230,12 +259,18 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 			}(it)
 		}
 		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	var best *region.Partition
 	for _, p := range candidates {
+		if p == nil {
+			continue
+		}
 		res.Iterations++
 		if best == nil || p.NumRegions() > best.NumRegions() ||
 			(p.NumRegions() == best.NumRegions() && p.Heterogeneity() < best.Heterogeneity()) {
@@ -256,6 +291,7 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 				Objective: cfg.Objective,
 				Seed:      cfg.Seed,
 				Steps:     20 * cfg.MaxNoImprove,
+				Ctx:       ctx,
 			})
 			res.TabuMoves = stats.Accepted
 			res.Improvements = stats.Improvements
@@ -266,12 +302,18 @@ func Solve(ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 				Tenure:       cfg.TabuLength,
 				MaxNoImprove: cfg.MaxNoImprove,
 				Seed:         cfg.Seed,
+				Ctx:          ctx,
 			})
 			res.TabuMoves = stats.Moves
 			res.Improvements = stats.Improvements
 			res.Search = stats.Counters
 		}
 		res.LocalSearchTime = searchSpan.End()
+		if err := ctx.Err(); err != nil {
+			// The search stopped early at a consistent state, but a
+			// cancelled solve must not be mistaken for a completed one.
+			return nil, canceled(err)
+		}
 	}
 	res.HeteroAfter = best.Heterogeneity()
 	res.P = best.NumRegions()

@@ -8,19 +8,21 @@
 package server
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"emp/internal/census"
 	"emp/internal/constraint"
-	"emp/internal/data"
 	"emp/internal/fact"
 	"emp/internal/obs"
 	"emp/internal/region"
+	"emp/internal/solvecache"
 )
 
 // Config tunes the HTTP service.
@@ -35,6 +37,23 @@ type Config struct {
 	AccessLog io.Writer
 	// MaxBodyBytes bounds POST /solve request bodies; 0 means 64 MiB.
 	MaxBodyBytes int64
+	// DatasetCacheBytes bounds the LRU of generated named/scaled datasets
+	// shared read-only across requests; 0 means DefaultDatasetCacheBytes,
+	// negative disables the cache.
+	DatasetCacheBytes int64
+	// ResultCacheBytes bounds the LRU of finished solve responses keyed by
+	// request fingerprint; 0 means DefaultResultCacheBytes, negative
+	// disables the cache.
+	ResultCacheBytes int64
+	// Workers caps concurrently executing solves; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many admitted solves may wait for a worker
+	// beyond the ones executing; 0 means 4x Workers, negative means no
+	// queue (reject the moment all workers are busy).
+	QueueDepth int
+	// QueueWait bounds how long a queued solve may wait for a worker before
+	// the service sheds it with 429; 0 means DefaultQueueWait.
+	QueueWait time.Duration
 }
 
 // DefaultMaxBodyBytes is the POST /solve body limit when Config.MaxBodyBytes
@@ -42,12 +61,33 @@ type Config struct {
 // enough to keep one request from exhausting memory.
 const DefaultMaxBodyBytes = 64 << 20
 
+// Serving-layer defaults (see docs/SERVING.md for sizing rationale).
+const (
+	// DefaultDatasetCacheBytes holds roughly a dozen 20k-area substrates.
+	DefaultDatasetCacheBytes = 256 << 20
+	// DefaultResultCacheBytes holds thousands of assignments.
+	DefaultResultCacheBytes = 64 << 20
+	// DefaultQueueWait bounds queue time before shedding with 429.
+	DefaultQueueWait = 10 * time.Second
+)
+
 // service carries the handler state.
 type service struct {
 	reg       *obs.Registry
 	accessLog io.Writer
 	maxBody   int64
 	inflight  *obs.Gauge
+
+	// Serving-performance subsystem: artifact and result caches, the solve
+	// dedup group, the dataset-generation dedup group and the bounded
+	// scheduler (see internal/solvecache).
+	dsCache   *solvecache.LRU
+	resCache  *solvecache.LRU
+	flights   solvecache.Group
+	dsFlights solvecache.Group
+	sched     *solvecache.Scheduler
+	dedups    *obs.Counter
+	cancels   *obs.Counter
 }
 
 // SolveRequest is the POST /solve body.
@@ -129,12 +169,42 @@ func NewHandler(cfg Config) http.Handler {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	dsBytes := cfg.DatasetCacheBytes
+	if dsBytes == 0 {
+		dsBytes = DefaultDatasetCacheBytes
+	}
+	resBytes := cfg.ResultCacheBytes
+	if resBytes == 0 {
+		resBytes = DefaultResultCacheBytes
+	}
 	s := &service{
 		reg:       reg,
 		accessLog: cfg.AccessLog,
 		maxBody:   maxBody,
 		inflight:  reg.Gauge("emp_http_in_flight", "HTTP requests currently being served."),
+		dsCache:   solvecache.NewLRU(dsBytes),
+		resCache:  solvecache.NewLRU(resBytes),
+		dedups:    reg.Counter("emp_solve_dedup_total", "Requests that joined an identical in-flight solve instead of running their own."),
+		cancels:   reg.Counter("emp_solve_canceled_total", "Solve executions abandoned because every interested client disconnected."),
 	}
+	s.dsCache.SetMetrics(solvecache.CacheMetrics{
+		Hits:      reg.Counter("emp_dataset_cache_hits_total", "Dataset artifact cache hits."),
+		Misses:    reg.Counter("emp_dataset_cache_misses_total", "Dataset artifact cache misses."),
+		Evictions: reg.Counter("emp_dataset_cache_evictions_total", "Dataset artifact cache evictions."),
+		Cost:      reg.Gauge("emp_dataset_cache_bytes", "Approximate bytes held by the dataset artifact cache."),
+	})
+	s.resCache.SetMetrics(solvecache.CacheMetrics{
+		Hits:      reg.Counter("emp_result_cache_hits_total", "Solve result cache hits."),
+		Misses:    reg.Counter("emp_result_cache_misses_total", "Solve result cache misses."),
+		Evictions: reg.Counter("emp_result_cache_evictions_total", "Solve result cache evictions."),
+		Cost:      reg.Gauge("emp_result_cache_bytes", "Approximate bytes held by the solve result cache."),
+	})
+	s.sched = solvecache.NewScheduler(cfg.Workers, cfg.QueueDepth, cfg.QueueWait, solvecache.SchedulerMetrics{
+		Depth:     reg.Gauge("emp_solve_queue_depth", "Solves currently waiting for a worker slot."),
+		Wait:      reg.Timer("emp_solve_queue_wait_duration", "Time solves spend queued for a worker slot."),
+		Rejected:  reg.Counter("emp_solve_queue_rejected_total", "Solves shed with 429 because the queue was full or the wait budget elapsed."),
+		Abandoned: reg.Counter("emp_solve_queue_abandoned_total", "Queued solves whose context was cancelled before a slot freed."),
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/datasets", s.handleDatasets)
@@ -190,11 +260,24 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
-	ds, err := datasetFor(&req)
-	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
+	switch {
+	case req.Dataset != nil && req.Named != "":
+		s.writeError(w, r, http.StatusBadRequest, "dataset and named are mutually exclusive", nil)
+		return
+	case req.Dataset == nil && req.Named == "":
+		s.writeError(w, r, http.StatusBadRequest, "one of dataset or named is required", nil)
 		return
 	}
+	// Scale semantics: 0 means "unset, use the full dataset"; anything else
+	// must be a genuine shrink factor. Previously scale >= 1 fell through
+	// silently to the full dataset, so a client asking for scale 2 got a
+	// differently-sized answer than it thought it requested.
+	if req.Scale != 0 && (req.Scale <= 0 || req.Scale >= 1) {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("scale must be in (0,1) exclusive, got %g; omit it (or send 0) for the full dataset", req.Scale), nil)
+		return
+	}
+	req.Options.Seed = normalizeSeed(req.Options.Seed)
 	set, err := constraint.ParseSet(req.Constraints)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
@@ -222,18 +305,32 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := fact.Solve(ds, set, cfg)
-	if err != nil {
-		if errors.Is(err, fact.ErrInfeasible) {
-			s.writeError(w, r, http.StatusUnprocessableEntity, "infeasible", res.Feasibility.Reasons)
-			return
-		}
-		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
+	fp := solveFingerprint(&req, set)
+	if v, ok := s.resCache.Get(fp); ok {
+		s.writeSolveResponse(w, r, v.(*SolveResponse))
 		return
 	}
-	resp := buildResponse(res)
-	resp.RequestID = RequestIDFrom(r.Context())
-	writeJSON(w, http.StatusOK, resp)
+	v, shared, err := s.flights.Do(r.Context(), fp, func(fctx context.Context) (any, error) {
+		return s.runSolve(fctx, &req, set, cfg, fp), nil
+	})
+	if shared {
+		s.dedups.Inc()
+	}
+	if err != nil {
+		// This client left before the (possibly still shared) solve
+		// finished; the flight itself keeps running for other waiters.
+		s.writeError(w, r, statusClientClosed, "client closed request", nil)
+		return
+	}
+	oc := v.(*solveOutcome)
+	if oc.retryAfter {
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfterSeconds()))
+	}
+	if oc.resp == nil {
+		s.writeError(w, r, oc.status, oc.errMsg, oc.reasons)
+		return
+	}
+	s.writeSolveResponse(w, r, oc.resp)
 }
 
 func buildResponse(res *fact.Result) SolveResponse {
@@ -275,29 +372,6 @@ func buildResponse(res *fact.Result) SolveResponse {
 			RemovabilityPasses: res.Search.RemovabilityPasses,
 		},
 	}
-}
-
-func datasetFor(req *SolveRequest) (*data.Dataset, error) {
-	switch {
-	case req.Dataset != nil && req.Named != "":
-		return nil, fmt.Errorf("dataset and named are mutually exclusive")
-	case req.Dataset != nil:
-		return data.ReadJSON(bytes.NewReader(req.Dataset))
-	case req.Named != "":
-		if req.Scale > 0 && req.Scale < 1 {
-			return census.Scaled(req.Named, req.Scale, seedOr1(req.Options.Seed))
-		}
-		return census.NamedSeeded(req.Named, seedOr1(req.Options.Seed))
-	default:
-		return nil, fmt.Errorf("one of dataset or named is required")
-	}
-}
-
-func seedOr1(seed int64) int64 {
-	if seed == 0 {
-		return 1
-	}
-	return seed
 }
 
 // writeError sends the JSON error payload, tagged with the request id.

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/fact"
+	"emp/internal/solvecache"
+)
+
+// statusClientClosed is nginx's conventional 499 "client closed request":
+// the solve was abandoned because no interested client remained. The
+// connection is usually gone by the time it is written; the status exists
+// for the access log and the per-route metrics.
+const statusClientClosed = 499
+
+// solveOutcome is the singleflight-shared result of one solve execution.
+// Every caller of the flight (leader and deduped followers) receives the
+// same outcome, including error outcomes — if the shared solve was rejected
+// or infeasible, it was so for all of them.
+type solveOutcome struct {
+	resp    *SolveResponse // nil on error outcomes
+	status  int
+	errMsg  string
+	reasons []string
+	// retryAfter marks overload outcomes that should carry a Retry-After
+	// header (429).
+	retryAfter bool
+}
+
+// normalizeSeed maps the "unset" seed 0 to the canonical seed 1 exactly
+// once, at the request boundary. Dataset generation, the solver config and
+// the cache keys all use the normalized value, so a request with seed 0 and
+// a request with seed 1 are one cache entry and produce identical responses
+// (previously the dataset was generated with seed 1 but the solver ran with
+// the raw 0).
+func normalizeSeed(seed int64) int64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}
+
+// canonicalLocalSearch folds the two spellings of the default ("" and
+// "tabu") so they share a fingerprint.
+func canonicalLocalSearch(ls string) string {
+	if ls == "" {
+		return "tabu"
+	}
+	return ls
+}
+
+// solveFingerprint computes the canonical cache/dedup key of a solve
+// request: the normalized dataset source, the parsed-and-reprinted
+// constraint set (so whitespace and formatting variants share an entry), and
+// every solver option that can influence the result. Options.Parallelism is
+// deliberately excluded — results are deterministic per seed regardless of
+// parallelism (a property the fact package pins with a regression test), so
+// requests differing only in worker count share one entry. The caller must
+// have normalized Options.Seed already.
+func solveFingerprint(req *SolveRequest, set constraint.Set) string {
+	opt := &req.Options
+	var src [3]string
+	if req.Named != "" {
+		src = [3]string{"named:" + req.Named,
+			strconv.FormatFloat(req.Scale, 'g', -1, 64),
+			strconv.FormatInt(opt.Seed, 10)}
+	} else {
+		src = [3]string{"inline", string(req.Dataset), ""}
+	}
+	return solvecache.Key(
+		src[0], src[1], src[2],
+		set.String(),
+		strconv.Itoa(opt.Iterations),
+		strconv.Itoa(opt.MergeLimit),
+		strconv.Itoa(opt.TabuLength),
+		strconv.Itoa(opt.MaxNoImprove),
+		strconv.FormatBool(opt.SkipLocalSearch),
+		canonicalLocalSearch(opt.LocalSearch),
+		strconv.FormatInt(opt.Seed, 10),
+	)
+}
+
+// datasetKey keys the dataset artifact cache by everything generation
+// depends on: name, scale and (normalized) seed.
+func datasetKey(name string, scale float64, seed int64) string {
+	return solvecache.Key("dataset", name,
+		strconv.FormatFloat(scale, 'g', -1, 64),
+		strconv.FormatInt(seed, 10))
+}
+
+// datasetCost approximates the resident bytes of a generated dataset:
+// polygon vertices, adjacency lists and attribute columns dominate.
+func datasetCost(ds *data.Dataset) int64 {
+	cost := int64(256)
+	for i := range ds.Polygons {
+		cost += 24 + int64(len(ds.Polygons[i].Outer))*16
+	}
+	for _, adj := range ds.Adjacency {
+		cost += 24 + int64(len(adj))*8
+	}
+	cost += int64(len(ds.Cols)) * (int64(ds.N())*8 + 24)
+	return cost
+}
+
+// responseCost approximates the resident bytes of a cached SolveResponse;
+// the assignment slice dominates.
+func responseCost(resp *SolveResponse) int64 {
+	cost := int64(512) + int64(len(resp.Assignment))*8
+	for _, w := range resp.Warnings {
+		cost += int64(len(w)) + 16
+	}
+	return cost
+}
+
+// datasetFor resolves the request's dataset. Named (and scaled) synthetic
+// datasets go through the artifact LRU — generating a 20k-area substrate
+// costs far more than solving on it hot — and concurrent misses on the same
+// key are collapsed by a singleflight so the substrate is built once.
+// Cached datasets are shared READ-ONLY across concurrent solves; nothing in
+// the solve path mutates a Dataset (partitions keep their own state), which
+// the race-enabled serving tests exercise.
+func (s *service) datasetFor(ctx context.Context, req *SolveRequest) (*data.Dataset, error) {
+	if req.Dataset != nil {
+		// Inline documents are request-local: parse, don't cache.
+		return data.ReadJSON(bytes.NewReader(req.Dataset))
+	}
+	seed := req.Options.Seed // normalized by handleSolve
+	key := datasetKey(req.Named, req.Scale, seed)
+	if v, ok := s.dsCache.Get(key); ok {
+		return v.(*data.Dataset), nil
+	}
+	v, _, err := s.dsFlights.Do(ctx, key, func(context.Context) (any, error) {
+		// Generation is pure CPU without cancellation support, and its
+		// output is cacheable — run it to completion even when the
+		// requesting clients leave; the next request hits the cache.
+		var (
+			ds  *data.Dataset
+			err error
+		)
+		if req.Scale > 0 {
+			ds, err = census.Scaled(req.Named, req.Scale, seed)
+		} else {
+			ds, err = census.NamedSeeded(req.Named, seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.dsCache.Add(key, ds, datasetCost(ds))
+		return ds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*data.Dataset), nil
+}
+
+// runSolve executes one admitted solve: scheduler slot, dataset resolution,
+// the cancellable solve itself, and the result-cache store. It runs as a
+// singleflight leader; ctx is the flight context, cancelled only when every
+// interested client has disconnected.
+func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constraint.Set, cfg fact.Config, fp string) *solveOutcome {
+	release, err := s.sched.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, solvecache.ErrOverloaded) {
+			return &solveOutcome{
+				status: http.StatusTooManyRequests,
+				errMsg: fmt.Sprintf("overloaded: no solve capacity within the queue budget (workers=%d); retry later",
+					s.sched.Workers()),
+				retryAfter: true,
+			}
+		}
+		s.cancels.Inc() // every client left while queued
+		return &solveOutcome{status: statusClientClosed, errMsg: "solve canceled: client closed request"}
+	}
+	defer release()
+	ds, err := s.datasetFor(ctx, req)
+	if err != nil {
+		return &solveOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
+	}
+	res, err := fact.SolveCtx(ctx, ds, set, cfg)
+	if err != nil {
+		switch {
+		case errors.Is(err, fact.ErrInfeasible):
+			return &solveOutcome{status: http.StatusUnprocessableEntity,
+				errMsg: "infeasible", reasons: res.Feasibility.Reasons}
+		case ctx.Err() != nil:
+			s.cancels.Inc() // every client left mid-solve
+			return &solveOutcome{status: statusClientClosed, errMsg: "solve canceled: client closed request"}
+		default:
+			return &solveOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
+		}
+	}
+	resp := buildResponse(res)
+	s.resCache.Add(fp, &resp, responseCost(&resp))
+	return &solveOutcome{status: http.StatusOK, resp: &resp}
+}
+
+// writeSolveResponse sends a (possibly cached, shared) response, stamping
+// the caller's request id onto a shallow copy so the cached entry itself is
+// never mutated.
+func (s *service) writeSolveResponse(w http.ResponseWriter, r *http.Request, resp *SolveResponse) {
+	out := *resp
+	out.RequestID = RequestIDFrom(r.Context())
+	writeJSON(w, http.StatusOK, &out)
+}

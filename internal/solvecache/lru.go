@@ -1,0 +1,143 @@
+package solvecache
+
+import (
+	"container/list"
+	"sync"
+
+	"emp/internal/obs"
+)
+
+// CacheMetrics carries the optional registry hooks of one LRU. All fields
+// may be nil (obs types are nil-receiver safe).
+type CacheMetrics struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses *obs.Counter
+	// Evictions counts entries dropped to respect the cost bound.
+	Evictions *obs.Counter
+	// Cost tracks the current total cost (bytes, for the server's caches).
+	Cost *obs.Gauge
+}
+
+// LRU is a cost-bounded least-recently-used cache, safe for concurrent use.
+// Each entry carries a caller-supplied cost (the server uses approximate
+// resident bytes); adding past the bound evicts from the cold end until the
+// new entry fits. A nil *LRU or one built with a non-positive bound is a
+// valid always-miss cache, so callers can disable caching by configuration
+// without branching.
+type LRU struct {
+	mu    sync.Mutex
+	bound int64
+	cost  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	met   CacheMetrics
+}
+
+// lruEntry is the list payload.
+type lruEntry struct {
+	key  string
+	val  any
+	cost int64
+}
+
+// NewLRU creates a cache holding at most bound total cost. A non-positive
+// bound returns a disabled cache (every Get misses, Add is a no-op).
+func NewLRU(bound int64) *LRU {
+	if bound <= 0 {
+		return nil
+	}
+	return &LRU{
+		bound: bound,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// SetMetrics binds the cache's counters/gauge. Call before use.
+func (c *LRU) SetMetrics(m CacheMetrics) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.met = m
+	c.mu.Unlock()
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *LRU) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		m := c.met.Misses
+		c.mu.Unlock()
+		m.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	v := el.Value.(*lruEntry).val
+	m := c.met.Hits
+	c.mu.Unlock()
+	m.Inc()
+	return v, true
+}
+
+// Add inserts or replaces the entry, evicting cold entries until the total
+// cost fits the bound. Entries whose own cost exceeds the bound are not
+// cached at all (they would evict everything for a single use).
+func (c *LRU) Add(key string, val any, cost int64) {
+	if c == nil || cost > c.bound {
+		return
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.cost += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, cost: cost})
+		c.cost += cost
+	}
+	evicted := int64(0)
+	for c.cost > c.bound {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.cost -= e.cost
+		evicted++
+	}
+	ev, cg, total := c.met.Evictions, c.met.Cost, c.cost
+	c.mu.Unlock()
+	ev.Add(evicted)
+	cg.Set(total)
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cost returns the current total cost.
+func (c *LRU) Cost() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cost
+}

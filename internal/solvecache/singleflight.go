@@ -1,0 +1,96 @@
+package solvecache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group deduplicates concurrent work by key: the first caller of a key
+// becomes the leader and runs fn; callers arriving while the flight is live
+// join it and share the leader's result.
+//
+// Unlike the classic singleflight, flights are reference-counted against
+// their callers' contexts: a caller whose context ends stops waiting without
+// disturbing the others, and when the LAST interested caller leaves, the
+// flight's own context is cancelled so the underlying work (a solve nobody
+// is waiting for) stops burning CPU. The flight context is derived from
+// context.Background, not from the leader's context — the leader
+// disconnecting must not kill a solve that other clients still wait on.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress fn execution.
+type flight struct {
+	done   chan struct{} // closed after val/err are set
+	val    any
+	err    error
+	refs   int // callers still waiting
+	cancel context.CancelFunc
+}
+
+// Do runs fn once per key among concurrent callers and returns its result.
+// The boolean reports whether this caller shared another caller's flight
+// (false for the leader). When ctx ends before the flight finishes, Do
+// returns ctx.Err(); the flight keeps running for the remaining callers and
+// is cancelled only when none remain.
+func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.refs++
+		g.mu.Unlock()
+		return g.wait(ctx, key, f, true)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// The leader's work runs on its own goroutine so the leader too can
+	// abandon the wait when its context ends.
+	go func() {
+		val, err := fn(fctx)
+		g.mu.Lock()
+		if g.m[key] == f {
+			delete(g.m, key)
+		}
+		f.val, f.err = val, err
+		g.mu.Unlock()
+		close(f.done)
+		cancel() // release the flight context's resources
+	}()
+	return g.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight finishes or the caller's context ends.
+func (g *Group) wait(ctx context.Context, key string, f *flight, shared bool) (any, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		// The flight may have finished in the same instant; prefer its
+		// result when available so late cancellations don't discard work.
+		select {
+		case <-f.done:
+			return f.val, shared, f.err
+		default:
+		}
+		g.mu.Lock()
+		f.refs--
+		last := f.refs == 0
+		if last && g.m[key] == f {
+			// Nobody is waiting anymore: unpublish the flight so new
+			// callers start fresh instead of joining doomed work.
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
+}

@@ -1,0 +1,36 @@
+// Package solvecache is the serving-performance substrate of the HTTP
+// service: request fingerprinting, a memory-bounded LRU for expensive
+// artifacts (generated datasets, solve responses), a cancellation-aware
+// singleflight group so identical concurrent solves run once, and a bounded
+// scheduler that admission-controls solve work against a fixed worker pool.
+//
+// The package holds mechanisms only — no solver or HTTP knowledge — so the
+// same primitives serve dataset generation (keyed by name/seed/scale) and
+// full solve responses (keyed by the canonical request fingerprint), and can
+// back future artifact classes (rendered SVGs, feasibility reports) without
+// change. internal/server wires them together; docs/SERVING.md describes the
+// resulting serving semantics.
+package solvecache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key fingerprints an ordered list of canonical string parts into a stable
+// hex digest. Parts are length-prefixed before hashing, so distinct part
+// boundaries can never collide (Key("a","bc") != Key("ab","c")) and the key
+// is safe to build from attacker-controlled request fields. Callers must
+// canonicalize the parts themselves (normalized seeds, parsed-and-reprinted
+// constraint sets) so semantically identical requests share a fingerprint.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

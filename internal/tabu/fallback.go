@@ -43,6 +43,9 @@ func improveFallback(p *region.Partition, cfg Config) Stats {
 	var undo []appliedMove
 	noImprove := 0
 	for iter := 1; noImprove < cfg.MaxNoImprove; iter++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			break // cancelled: fall through to the revert-to-best epilogue
+		}
 		key, ok := s.pickMove(iter, best)
 		if !ok {
 			break

@@ -12,6 +12,7 @@
 package tabu
 
 import (
+	"context"
 	"math"
 
 	"emp/internal/region"
@@ -41,6 +42,12 @@ type Config struct {
 	// incremental searcher; use it for differential testing and as the
 	// "before" leg of benchmarks.
 	Fallback bool
+	// Ctx, when non-nil, is polled once per iteration: on cancellation the
+	// search stops admitting moves and returns through the normal path, so
+	// the partition still ends at the best state found (moves past it are
+	// reverted) and Stats stays consistent. Callers that must distinguish a
+	// cancelled run from a converged one check Ctx.Err() themselves.
+	Ctx context.Context
 }
 
 // Stats reports what the search did.
@@ -146,6 +153,9 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	var undo []appliedMove
 	noImprove := 0
 	for iter := 1; noImprove < cfg.MaxNoImprove; iter++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			break // cancelled: fall through to the revert-to-best epilogue
+		}
 		it, ok := s.pickMove(iter, best)
 		if !ok {
 			break
