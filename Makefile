@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check bench bench-smoke bench-tabu bench-obs bench-serve
+.PHONY: build test race vet fmt-check staticcheck check bench bench-smoke bench-tabu bench-obs bench-serve bench-shard
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,17 @@ race:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and is a
+# no-op otherwise, so `make check` works on machines that cannot install
+# tools; CI installs it explicitly and therefore always gets the real run.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
 # check is the CI gate: static analysis plus the full suite under the race
 # detector (the parallel multi-start in internal/fact shares a mutex-guarded
 # best-candidate slot that plain `go test` never exercises for races).
-check: vet race
+check: vet staticcheck race
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -45,3 +52,9 @@ bench-obs:
 # keeps it CI-grade; see docs/SERVING.md for what the legs mean.
 bench-serve:
 	$(GO) run ./cmd/empbench -benchserve
+
+# bench-shard regenerates BENCH_shard.json (legacy whole-dataset solve vs
+# the component-sharded pipeline, plus the 1-worker/N-worker determinism
+# check). Speedup tracks GOMAXPROCS; see docs/SHARDING.md.
+bench-shard:
+	$(GO) run ./cmd/empbench -benchshard

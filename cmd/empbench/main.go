@@ -40,6 +40,7 @@ func main() {
 		benchTabu  = flag.Bool("benchtabu", false, "run the tabu kernel benchmark and write BENCH_tabu.json")
 		benchObs   = flag.Bool("benchobs", false, "run the telemetry overhead benchmark and write BENCH_obs.json")
 		benchServe = flag.Bool("benchserve", false, "run the serving throughput benchmark and write BENCH_serve.json")
+		benchShard = flag.Bool("benchshard", false, "run the component-sharding benchmark and write BENCH_shard.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
@@ -83,6 +84,19 @@ func main() {
 			res.Dataset, res.Scale, res.ColdPerSec, res.HotPerSec, res.HotColdSpeedup,
 			res.DedupConcurrent, res.DedupSeconds, res.DedupJoined)
 		fmt.Println("wrote BENCH_serve.json")
+		return
+	}
+	if *benchShard {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteShardBench(cfg, "BENCH_shard.json")
+		if err != nil {
+			log.Fatalf("benchshard: %v", err)
+		}
+		fmt.Printf("shard on %s (%d areas, %d components, GOMAXPROCS %d): legacy %.3fs, sharded w=1 %.3fs, w=%d %.3fs (%.2fx), identical=%v\n",
+			res.Dataset, res.Areas, res.Components, res.GoMaxProcs,
+			res.LegacySeconds, res.SeqSeconds, res.ShardWorkers, res.ShardSeconds,
+			res.Speedup, res.IdenticalAcrossWorkers)
+		fmt.Println("wrote BENCH_shard.json")
 		return
 	}
 	if *benchTabu {

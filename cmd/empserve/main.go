@@ -12,7 +12,10 @@
 // cached (see docs/SERVING.md); identical concurrent requests share one
 // solve execution.
 //
-// Endpoints:
+// Endpoints (every path is also mounted under the versioned /v1 prefix,
+// e.g. /v1/solve; both spellings hit the same handlers, caches and metrics,
+// and all errors arrive as one JSON envelope
+// {"error":{"code","message",...}} — see docs/SERVING.md):
 //
 //	GET  /healthz   liveness probe
 //	GET  /datasets  list the named synthetic datasets
@@ -23,6 +26,10 @@
 //	                 "options":{"seed":1,"local_search":"tabu"}}
 //	                or with an inline {"dataset":{...}} document in the
 //	                schema produced by empgen.
+//
+// Datasets with several connected components are solved component-by-
+// component on a process-wide worker pool (docs/SHARDING.md); the
+// "options" object accepts "shard_off" and "shard_workers" to steer it.
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ and the expvar JSON (including an "emp" metrics snapshot)

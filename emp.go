@@ -26,6 +26,7 @@
 package emp
 
 import (
+	"context"
 	"io"
 
 	"emp/internal/azp"
@@ -114,9 +115,20 @@ type Solution struct {
 
 // Solve runs FaCT on the dataset under the constraint set. On hard
 // infeasibility it returns an error wrapping ErrInfeasible together with a
-// Solution carrying the feasibility report.
+// Solution carrying the feasibility report. It is SolveCtx without
+// cancellation.
 func Solve(ds *Dataset, set ConstraintSet, opt Options) (*Solution, error) {
-	res, err := fact.Solve(ds, set, opt)
+	return SolveCtx(context.Background(), ds, set, opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation: when the context is
+// cancelled mid-solve the call returns an error wrapping ctx.Err() within
+// one check interval instead of running to completion. Datasets whose
+// contiguity graph has multiple connected components are solved as
+// concurrent per-component shards by default (see Options.ShardOff and
+// docs/SHARDING.md).
+func SolveCtx(ctx context.Context, ds *Dataset, set ConstraintSet, opt Options) (*Solution, error) {
+	res, err := fact.SolveCtx(ctx, ds, set, opt)
 	if res == nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package emp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"path/filepath"
 	"strings"
@@ -69,6 +70,43 @@ func TestSolveEndToEnd(t *testing.T) {
 	}
 	if sol.Feasibility() == nil || !sol.Feasibility().Feasible {
 		t.Error("feasibility report missing")
+	}
+}
+
+// TestSolveCtxFacade: the context-first entry point cancels cooperatively
+// and, uncancelled, matches Solve exactly (Solve delegates to it).
+func TestSolveCtxFacade(t *testing.T) {
+	ds, err := GenerateDataset(DatasetOptions{Name: "ctx", Areas: 160, States: 2, Components: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := ParseConstraints("SUM(TOTALPOP) >= 15000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Solve(ds, set, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := SolveCtx(context.Background(), ds, set, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.P != viaCtx.P || plain.Heterogeneity() != viaCtx.Heterogeneity() {
+		t.Errorf("Solve and SolveCtx disagree: %d/%g vs %d/%g",
+			plain.P, plain.Heterogeneity(), viaCtx.P, viaCtx.Heterogeneity())
+	}
+	a, b := plain.Assignment(), viaCtx.Assignment()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment differs at area %d", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveCtx(ctx, ds, set, Options{Seed: 3}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SolveCtx err = %v, want context.Canceled", err)
 	}
 }
 

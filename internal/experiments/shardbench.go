@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/fact"
+)
+
+// ShardBenchResult is the JSON artifact written by `empbench -benchshard`:
+// the component-sharded solve pipeline against the legacy whole-dataset
+// path on a four-component census dataset. The sharded legs run the same
+// decomposition with one worker and with one worker per CPU, so Speedup
+// isolates the parallel win and IdenticalAcrossWorkers certifies that the
+// worker count never leaks into the result (the determinism contract from
+// docs/SHARDING.md). On a single-CPU host Speedup is honestly ~1x; the
+// legacy comparison still shows the decomposition itself.
+type ShardBenchResult struct {
+	Dataset       string  `json:"dataset"`
+	Areas         int     `json:"areas"`
+	Components    int     `json:"components"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	ShardWorkers  int     `json:"shard_workers"`
+	LegacySeconds float64 `json:"legacy_seconds"`
+	SeqSeconds    float64 `json:"seq_seconds"`
+	ShardSeconds  float64 `json:"shard_seconds"`
+	Speedup       float64 `json:"speedup"`
+	LegacyP       int     `json:"legacy_p"`
+	ShardP        int     `json:"shard_p"`
+	LegacyHetero  float64 `json:"legacy_hetero"`
+	ShardHetero   float64 `json:"shard_hetero"`
+	// IdenticalAcrossWorkers is true when the one-worker and N-worker
+	// sharded solves produced the same assignment for every area.
+	IdenticalAcrossWorkers bool `json:"identical_across_workers"`
+}
+
+// shardBenchAssignment flattens a solve result to per-area region ids.
+func shardBenchAssignment(res *fact.Result, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = res.Partition.Assignment(i)
+	}
+	return out
+}
+
+// ShardBench times the three solve configurations on one dataset. The
+// dataset has four components so the sharded path engages; its size scales
+// with cfg.Scale like every other experiment.
+func ShardBench(cfg Config) (*ShardBenchResult, error) {
+	cfg = cfg.withDefaults()
+	areas := int(8000 * cfg.Scale)
+	if areas < 400 {
+		areas = 400
+	}
+	ds, err := census.Generate(census.Options{
+		Name:       "shardbench",
+		Areas:      areas,
+		States:     4,
+		Components: 4,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	set, err := constraint.ParseSet("SUM(TOTALPOP) >= 25000")
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	solve := func(c fact.Config) (*fact.Result, float64, error) {
+		start := time.Now()
+		res, err := fact.SolveCtx(ctx, ds, set, c)
+		return res, time.Since(start).Seconds(), err
+	}
+	base := fact.Config{Seed: cfg.Seed, Iterations: 1}
+
+	legacyCfg := base
+	legacyCfg.ShardOff = true
+	legacy, legacySec, err := solve(legacyCfg)
+	if err != nil {
+		return nil, fmt.Errorf("shardbench: legacy solve: %w", err)
+	}
+
+	seqCfg := base
+	seqCfg.ShardWorkers = 1
+	seq, seqSec, err := solve(seqCfg)
+	if err != nil {
+		return nil, fmt.Errorf("shardbench: sequential sharded solve: %w", err)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	parCfg := base
+	parCfg.ShardWorkers = workers
+	par, parSec, err := solve(parCfg)
+	if err != nil {
+		return nil, fmt.Errorf("shardbench: parallel sharded solve: %w", err)
+	}
+
+	identical := seq.P == par.P && seq.HeteroAfter == par.HeteroAfter
+	if identical {
+		a, b := shardBenchAssignment(seq, ds.N()), shardBenchAssignment(par, ds.N())
+		for i := range a {
+			if a[i] != b[i] {
+				identical = false
+				break
+			}
+		}
+	}
+
+	out := &ShardBenchResult{
+		Dataset:                ds.Name,
+		Areas:                  ds.N(),
+		Components:             ds.Components(),
+		GoMaxProcs:             workers,
+		ShardWorkers:           workers,
+		LegacySeconds:          legacySec,
+		SeqSeconds:             seqSec,
+		ShardSeconds:           parSec,
+		LegacyP:                legacy.P,
+		ShardP:                 par.P,
+		LegacyHetero:           legacy.HeteroAfter,
+		ShardHetero:            par.HeteroAfter,
+		IdenticalAcrossWorkers: identical,
+	}
+	if parSec > 0 {
+		out.Speedup = seqSec / parSec
+	}
+	return out, nil
+}
+
+// WriteShardBench runs ShardBench and writes the JSON artifact.
+func WriteShardBench(cfg Config, path string) (*ShardBenchResult, error) {
+	res, err := ShardBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("shardbench: %w", err)
+	}
+	return res, nil
+}

@@ -12,6 +12,7 @@ import (
 	"emp/internal/constraint"
 	"emp/internal/data"
 	"emp/internal/region"
+	"emp/internal/solvecache"
 	"emp/internal/tabu"
 )
 
@@ -83,6 +84,21 @@ type Config struct {
 	// to naive member scans. The solutions are identical; the flag exists
 	// for differential testing and benchmarking. See docs/ALGORITHM.md.
 	KernelOff bool
+	// ShardOff disables component sharding: datasets whose contiguity graph
+	// has more than one connected component are by default decomposed into
+	// per-component sub-solves that run concurrently and merge
+	// deterministically (regions never span components, so the
+	// decomposition is lossless). See docs/SHARDING.md.
+	ShardOff bool
+	// ShardWorkers bounds the concurrency of the per-component sub-solves.
+	// 0 means GOMAXPROCS; 1 solves shards sequentially (same output: the
+	// merge order is the component order, not the completion order).
+	// Ignored when ShardPool is set.
+	ShardWorkers int
+	// ShardPool, when non-nil, supplies the worker slots for sub-solves
+	// instead of a private pool. Servers share one pool across concurrent
+	// requests so the aggregate shard fan-out respects one global budget.
+	ShardPool *solvecache.Pool
 }
 
 // LocalSearch selects the phase-3 improvement algorithm.
@@ -148,8 +164,16 @@ type Result struct {
 	// heap churn, tabu rejections, removability passes), whichever
 	// algorithm ran.
 	Search tabu.Counters
-	// Iterations is the number of construction iterations executed.
+	// Iterations is the number of construction iterations executed (summed
+	// over shards for sharded solves).
 	Iterations int
+	// Shards is the number of connected-component sub-solves; 0 when the
+	// solve ran on the whole dataset (single component or ShardOff).
+	Shards int
+	// Warnings lists solve-level findings beyond the feasibility report,
+	// e.g. components proven individually infeasible whose areas were left
+	// unassigned.
+	Warnings []string
 }
 
 // HeteroImprovement returns the relative improvement of the local search:
@@ -180,6 +204,11 @@ func canceled(err error) error {
 // and anneal.Config.Ctx), so a cancelled solve returns within one check
 // interval instead of running to completion. On cancellation the error wraps
 // ctx.Err() and the Result is nil; no partial partition escapes.
+//
+// When the contiguity graph has more than one connected component the solve
+// is sharded by default: each component is an independent sub-instance
+// (regions never span components), solved concurrently and merged in
+// component order. Config.ShardOff forces the legacy whole-dataset path.
 func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -187,11 +216,23 @@ func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Con
 	if ds.N() == 0 {
 		return nil, fmt.Errorf("fact: empty dataset")
 	}
-	cfg = cfg.withDefaults(ds.N())
 	ev, err := constraint.NewEvaluator(set, ds.Column)
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.ShardOff && ds.Components() > 1 {
+		return solveSharded(ctx, ds, set, ev, cfg)
+	}
+	return solveWhole(ctx, ds, ev, cfg, false)
+}
+
+// solveWhole runs the three FaCT phases on the dataset as one instance.
+// asShard marks a sub-solve of one component: those are accounted by the
+// shard counters (emp_shard_solves_total, emp_shard_solve_duration) and the
+// merged result's single solve event, so they skip the top-level
+// emp_solve_total bump and event emission — one request, one solve count.
+func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, cfg Config, asShard bool) (*Result, error) {
+	cfg = cfg.withDefaults(ds.N())
 
 	feasSpan := met.spanFeas.Start()
 	feas, err := Analyze(ds, ev)
@@ -201,8 +242,10 @@ func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Con
 	}
 	res := &Result{Feasibility: feas, FeasibilityTime: feasTime}
 	if !feas.Feasible {
-		met.solves.Inc()
-		met.infeasible.Inc()
+		if !asShard {
+			met.solves.Inc()
+			met.infeasible.Inc()
+		}
 		return res, fmt.Errorf("%w: %v", ErrInfeasible, feas.Reasons)
 	}
 
@@ -318,7 +361,9 @@ func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Con
 	res.HeteroAfter = best.Heterogeneity()
 	res.P = best.NumRegions()
 	res.Unassigned = best.UnassignedCount()
-	met.solves.Inc()
-	emitSolveEvent(res, cfg.LocalSearch.String())
+	if !asShard {
+		met.solves.Inc()
+		emitSolveEvent(res, cfg.LocalSearch.String())
+	}
 	return res, nil
 }

@@ -7,12 +7,16 @@ import "emp/internal/obs"
 // SetMetrics binds a registry; obs types are nil-receiver safe, so Solve
 // pays one branch per phase when telemetry is absent.
 type pkgMetrics struct {
-	reg        *obs.Registry
-	solves     *obs.Counter
-	infeasible *obs.Counter
-	spanFeas   *obs.Timer
-	spanCons   *obs.Timer
-	spanSearch *obs.Timer
+	reg             *obs.Registry
+	solves          *obs.Counter
+	infeasible      *obs.Counter
+	spanFeas        *obs.Timer
+	spanCons        *obs.Timer
+	spanSearch      *obs.Timer
+	spanShard       *obs.Timer
+	spanShardSolve  *obs.Timer
+	shardSolves     *obs.Counter
+	shardInfeasible *obs.Counter
 }
 
 var met pkgMetrics
@@ -34,6 +38,14 @@ func SetMetrics(r *obs.Registry) {
 		spanFeas:   r.Timer(`emp_solve_phase_duration{phase="feasibility"}`, phaseHelp),
 		spanCons:   r.Timer(`emp_solve_phase_duration{phase="construction"}`, phaseHelp),
 		spanSearch: r.Timer(`emp_solve_phase_duration{phase="local_search"}`, phaseHelp),
+		spanShard: r.Timer(`emp_solve_phase_duration{phase="shard"}`,
+			"Wall time of the sharded pipeline: decomposition, sub-solves and merge."),
+		spanShardSolve: r.Timer("emp_shard_solve_duration",
+			"Wall time of individual connected-component sub-solves."),
+		shardSolves: r.Counter("emp_shard_solves_total",
+			"Connected-component sub-solves executed by the sharded pipeline."),
+		shardInfeasible: r.Counter("emp_shard_infeasible_total",
+			"Sub-solves whose component was individually infeasible (areas left unassigned)."),
 	}
 }
 
@@ -55,6 +67,7 @@ func emitSolveEvent(res *Result, localSearch string) {
 			"hetero_after":   res.HeteroAfter,
 			"moves":          float64(res.TabuMoves),
 			"improvements":   float64(res.Improvements),
+			"shards":         float64(res.Shards),
 			"feasibility_ns": float64(res.FeasibilityTime.Nanoseconds()),
 			"construct_ns":   float64(res.ConstructionTime.Nanoseconds()),
 			"search_ns":      float64(res.LocalSearchTime.Nanoseconds()),

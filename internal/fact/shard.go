@@ -1,0 +1,143 @@
+package fact
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/region"
+	"emp/internal/shard"
+	"emp/internal/solvecache"
+)
+
+// shardSeed derives the sub-solve seed for shard i from the global seed with
+// a splitmix64-style mixer. The construction phase already consumes seed,
+// seed+1, ... for its iterations, so a plain offset would make shard i's RNG
+// stream collide with the whole-dataset iteration streams; mixing avoids
+// that while staying a pure function of (seed, i) — the per-shard results,
+// and therefore the merged output, depend only on the configuration, never
+// on worker count or completion order.
+func shardSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// solveSharded decomposes the dataset into its connected components, solves
+// each as an independent FaCT instance on a bounded worker pool, and merges
+// the per-component solutions back into global area indices in component
+// order. A component that is individually infeasible (e.g. its SUM total is
+// below a lower bound the full dataset clears) contributes no regions; its
+// areas stay unassigned and a warning records why — mirroring how the
+// whole-dataset path leaves areas unassigned when no feasible region covers
+// them.
+func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev *constraint.Evaluator, cfg Config) (*Result, error) {
+	// Phase 1 runs globally: Invalid and Seed are pointwise per-area
+	// properties, so the global report equals the union of per-shard
+	// reports, and dataset-level hard infeasibility short-circuits all
+	// shards at once.
+	feasSpan := met.spanFeas.Start()
+	feas, err := Analyze(ds, ev)
+	feasTime := feasSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Feasibility: feas, FeasibilityTime: feasTime}
+	if !feas.Feasible {
+		met.solves.Inc()
+		met.infeasible.Inc()
+		return res, fmt.Errorf("%w: %v", ErrInfeasible, feas.Reasons)
+	}
+
+	shardSpan := met.spanShard.Start()
+	plan, err := shard.NewPlan(ds)
+	if err != nil {
+		return nil, err
+	}
+	res.Shards = len(plan.Shards)
+
+	pool := cfg.ShardPool
+	if pool == nil {
+		pool = solvecache.NewPool(cfg.ShardWorkers)
+	}
+	subs := make([]*Result, len(plan.Shards))
+	runErr := shard.Run(ctx, len(plan.Shards), pool, func(i int) error {
+		sub := cfg
+		sub.ShardPool = nil
+		sub.ShardWorkers = 0
+		sub.Seed = shardSeed(cfg.Seed, i)
+		subEv, err := constraint.NewEvaluator(set, plan.Shards[i].Dataset.Column)
+		if err != nil {
+			return err
+		}
+		// Sub-solves go straight to solveWhole (a shard is one component;
+		// no recursion) with asShard set: the shard counters below account
+		// for them, the merged result emits the one solve event.
+		span := met.spanShardSolve.Start()
+		r, err := solveWhole(ctx, plan.Shards[i].Dataset, subEv, sub, true)
+		span.End()
+		met.shardSolves.Inc()
+		if errors.Is(err, ErrInfeasible) {
+			// Component-level infeasibility is not fatal: the areas stay
+			// unassigned, like any area no feasible region covers.
+			met.shardInfeasible.Inc()
+			subs[i] = r
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		subs[i] = r
+		return nil
+	})
+	if runErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
+		return nil, runErr
+	}
+
+	// Merge in component order (deterministic: the plan depends only on the
+	// adjacency, each sub-result only on its shard and seed).
+	perShard := make([][][]int, len(plan.Shards))
+	for i, r := range subs {
+		if r == nil || r.Partition == nil {
+			n := plan.Shards[i].Dataset.N()
+			msg := fmt.Sprintf("component %d (%d areas) is infeasible; its areas are left unassigned", i, n)
+			if r != nil && r.Feasibility != nil && len(r.Feasibility.Reasons) > 0 {
+				msg = fmt.Sprintf("%s: %s", msg, r.Feasibility.Reasons[0])
+			}
+			res.Warnings = append(res.Warnings, msg)
+			continue
+		}
+		for _, id := range r.Partition.RegionIDs() {
+			perShard[i] = append(perShard[i], r.Partition.Region(id).Members)
+		}
+		res.Iterations += r.Iterations
+		res.HeteroBefore += r.HeteroBefore
+		res.ConstructionTime += r.ConstructionTime
+		res.LocalSearchTime += r.LocalSearchTime
+		res.TabuMoves += r.TabuMoves
+		res.Improvements += r.Improvements
+		res.Search.Add(r.Search)
+		res.Warnings = append(res.Warnings, r.Warnings...)
+	}
+	merged, err := region.PartitionFromRegions(ds, ev, plan.MergeRegions(perShard))
+	if err != nil {
+		return nil, fmt.Errorf("fact: merging shard partitions: %w", err)
+	}
+	if cfg.KernelOff {
+		merged.SetHeteroKernel(false)
+	}
+	res.Partition = merged
+	res.HeteroAfter = merged.Heterogeneity()
+	res.P = merged.NumRegions()
+	res.Unassigned = merged.UnassignedCount()
+	shardSpan.End()
+	met.solves.Inc()
+	emitSolveEvent(res, cfg.LocalSearch.String())
+	return res, nil
+}

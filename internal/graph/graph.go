@@ -129,12 +129,32 @@ func (g *Graph) Components() (comp []int, count int) {
 
 // ComponentMembers groups vertices by component id.
 func (g *Graph) ComponentMembers() [][]int {
-	comp, count := g.Components()
-	members := make([][]int, count)
+	_, members := g.ComponentSlices()
+	return members
+}
+
+// ComponentSlices returns the component id per vertex together with the
+// member lists grouped per component (ascending within each component), in
+// one traversal. Callers that remap indices in both directions — such as the
+// shard planner, which needs old->component and component->old maps — get
+// both views without running the BFS twice. Component ids are dense,
+// assigned in order of lowest-numbered member vertex, so the member lists
+// are a stable, deterministic decomposition of 0..N-1.
+func (g *Graph) ComponentSlices() (comp []int, members [][]int) {
+	var count int
+	comp, count = g.Components()
+	members = make([][]int, count)
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for c, sz := range sizes {
+		members[c] = make([]int, 0, sz)
+	}
 	for v, c := range comp {
 		members[c] = append(members[c], v)
 	}
-	return members
+	return comp, members
 }
 
 // ConnectedSubset reports whether the given vertex subset induces a

@@ -1,0 +1,67 @@
+package region
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPartitionFromRegions(t *testing.T) {
+	ref, ds := testPartition(t, defaultSet())
+	ev := ref.Evaluator()
+
+	p, err := PartitionFromRegions(ds, ev, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	if err != nil {
+		t.Fatalf("PartitionFromRegions: %v", err)
+	}
+	if p.NumRegions() != 2 {
+		t.Fatalf("p = %d, want 2", p.NumRegions())
+	}
+	// Region ids follow list order, starting at 1.
+	for i, want := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		r := p.Region(i + 1)
+		if r == nil {
+			t.Fatalf("region %d missing", i+1)
+		}
+		if len(r.Members) != len(want) {
+			t.Fatalf("region %d members %v, want %v", i+1, r.Members, want)
+		}
+		for j := range want {
+			if r.Members[j] != want[j] {
+				t.Fatalf("region %d members %v, want %v", i+1, r.Members, want)
+			}
+		}
+	}
+	if got := len(p.UnassignedAreas()); got != 4 {
+		t.Fatalf("unassigned = %d, want 4 (areas 8..11)", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// The rebuilt partition carries the same heterogeneity as building the
+	// same regions through the mutation API.
+	ref.NewRegion(0, 1, 2, 3)
+	ref.NewRegion(4, 5, 6, 7)
+	if got, want := p.Heterogeneity(), ref.Heterogeneity(); got != want {
+		t.Fatalf("Heterogeneity = %g, want %g", got, want)
+	}
+}
+
+func TestPartitionFromRegionsErrors(t *testing.T) {
+	ref, ds := testPartition(t, defaultSet())
+	ev := ref.Evaluator()
+
+	if _, err := PartitionFromRegions(ds, ev, [][]int{{0, 1}, {}}); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty region list: err = %v", err)
+	}
+	if _, err := PartitionFromRegions(ds, ev, [][]int{{0, 99}}); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Errorf("out-of-range area: err = %v", err)
+	}
+	if _, err := PartitionFromRegions(ds, ev, [][]int{{0, 1}, {1, 2}}); err == nil || !strings.Contains(err.Error(), "region lists 0 and 1") {
+		t.Errorf("duplicate area: err = %v", err)
+	}
+	// A duplicate within one list must error too, not panic.
+	if _, err := PartitionFromRegions(ds, ev, [][]int{{0, 0}}); err == nil {
+		t.Error("duplicate within one list accepted")
+	}
+}

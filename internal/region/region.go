@@ -605,6 +605,40 @@ func (p *Partition) Validate() error {
 	return nil
 }
 
+// PartitionFromRegions builds a partition from explicit region member lists,
+// assigning region ids 1..len(regions) in list order. Areas absent from every
+// list stay unassigned. Unlike NewRegion it validates instead of panicking:
+// out-of-range and doubly-assigned areas return an error. It is the merge
+// primitive of the sharded solve pipeline, where per-component solutions are
+// folded back into one global partition in a deterministic order.
+func PartitionFromRegions(ds *data.Dataset, ev *constraint.Evaluator, regions [][]int) (*Partition, error) {
+	p, err := NewPartition(ds, ev)
+	if err != nil {
+		return nil, err
+	}
+	n := ds.N()
+	for ri, members := range regions {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("region: region list %d is empty", ri)
+		}
+		seen := make(map[int]bool, len(members))
+		for _, a := range members {
+			if a < 0 || a >= n {
+				return nil, fmt.Errorf("region: region list %d has out-of-range area %d", ri, a)
+			}
+			if id := p.assign[a]; id != Unassigned {
+				return nil, fmt.Errorf("region: area %d in region lists %d and %d", a, id-1, ri)
+			}
+			if seen[a] {
+				return nil, fmt.Errorf("region: region list %d repeats area %d", ri, a)
+			}
+			seen[a] = true
+		}
+		p.NewRegion(members...)
+	}
+	return p, nil
+}
+
 // Summary captures the headline numbers of a solution.
 type Summary struct {
 	P             int

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -71,8 +72,11 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // routeLabel maps the request path onto the fixed route set so metric label
-// cardinality stays bounded no matter what clients probe.
+// cardinality stays bounded no matter what clients probe. The /v1 alias of
+// a route shares its bare label: the version prefix is routing surface, not
+// a distinct endpoint.
 func routeLabel(path string) string {
+	path = strings.TrimPrefix(path, "/v1")
 	switch path {
 	case "/solve", "/datasets", "/healthz", "/metrics":
 		return path

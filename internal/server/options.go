@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+
+	"emp/internal/fact"
+)
+
+// SolveOptions mirrors the fact.Config knobs exposed over HTTP. It is the
+// single wire representation of solver options: Config converts to the
+// solver's native config and OptionsFromConfig converts back, and a
+// round-trip test over fact.Config's fields keeps the two in sync — a new
+// solver knob that is not mapped (or deliberately exempted) fails the test
+// instead of silently missing the HTTP layer or the cache fingerprint.
+type SolveOptions struct {
+	Iterations      int    `json:"iterations,omitempty"`
+	MergeLimit      int    `json:"merge_limit,omitempty"`
+	TabuLength      int    `json:"tabu_length,omitempty"`
+	MaxNoImprove    int    `json:"max_no_improve,omitempty"`
+	SkipLocalSearch bool   `json:"skip_local_search,omitempty"`
+	LocalSearch     string `json:"local_search,omitempty"` // "tabu" | "anneal"
+	Order           string `json:"order,omitempty"`        // "random" | "ascending" | "descending"
+	Seed            int64  `json:"seed,omitempty"`
+	Parallelism     int    `json:"parallelism,omitempty"`
+	KernelOff       bool   `json:"kernel_off,omitempty"`
+	ShardOff        bool   `json:"shard_off,omitempty"`
+	ShardWorkers    int    `json:"shard_workers,omitempty"`
+}
+
+// Config converts the wire options to the solver config, validating the
+// enum spellings. It is the only mapping between the two representations;
+// handler code must not translate knobs field-by-field.
+func (o SolveOptions) Config() (fact.Config, error) {
+	cfg := fact.Config{
+		Iterations:      o.Iterations,
+		MergeLimit:      o.MergeLimit,
+		TabuLength:      o.TabuLength,
+		MaxNoImprove:    o.MaxNoImprove,
+		SkipLocalSearch: o.SkipLocalSearch,
+		Seed:            o.Seed,
+		Parallelism:     o.Parallelism,
+		KernelOff:       o.KernelOff,
+		ShardOff:        o.ShardOff,
+		ShardWorkers:    o.ShardWorkers,
+	}
+	switch canonicalLocalSearch(o.LocalSearch) {
+	case "tabu":
+		cfg.LocalSearch = fact.LocalSearchTabu
+	case "anneal":
+		cfg.LocalSearch = fact.LocalSearchAnneal
+	default:
+		return fact.Config{}, fmt.Errorf("unknown local_search %q", o.LocalSearch)
+	}
+	switch canonicalOrder(o.Order) {
+	case "random":
+		cfg.Order = fact.OrderRandom
+	case "ascending":
+		cfg.Order = fact.OrderAscending
+	case "descending":
+		cfg.Order = fact.OrderDescending
+	default:
+		return fact.Config{}, fmt.Errorf("unknown order %q", o.Order)
+	}
+	return cfg, nil
+}
+
+// OptionsFromConfig is the inverse of Config for the wire-representable
+// knobs. Config fields without a wire form (Objective, ShardPool — in-process
+// values a remote client cannot supply) are dropped; the round-trip test
+// lists them explicitly as exemptions.
+func OptionsFromConfig(cfg fact.Config) SolveOptions {
+	return SolveOptions{
+		Iterations:      cfg.Iterations,
+		MergeLimit:      cfg.MergeLimit,
+		TabuLength:      cfg.TabuLength,
+		MaxNoImprove:    cfg.MaxNoImprove,
+		SkipLocalSearch: cfg.SkipLocalSearch,
+		LocalSearch:     cfg.LocalSearch.String(),
+		Order:           cfg.Order.String(),
+		Seed:            cfg.Seed,
+		Parallelism:     cfg.Parallelism,
+		KernelOff:       cfg.KernelOff,
+		ShardOff:        cfg.ShardOff,
+		ShardWorkers:    cfg.ShardWorkers,
+	}
+}
+
+// canonicalOrder folds the two spellings of the default ("" and "random")
+// so they share a fingerprint.
+func canonicalOrder(order string) string {
+	if order == "" {
+		return "random"
+	}
+	return order
+}
+
+// fingerprintParts returns the option fields that go into the solve
+// fingerprint: every knob that can change the result. Three knobs are
+// deliberately excluded because results are proven identical across their
+// values (each pinned by a differential/regression test in internal/fact):
+// Parallelism (construction multi-start determinism), ShardWorkers (merge
+// order is component order, not completion order) and KernelOff (the kernel
+// computes the same objective). Requests differing only in those share one
+// cache entry.
+func (o *SolveOptions) fingerprintParts() []string {
+	return []string{
+		strconv.Itoa(o.Iterations),
+		strconv.Itoa(o.MergeLimit),
+		strconv.Itoa(o.TabuLength),
+		strconv.Itoa(o.MaxNoImprove),
+		strconv.FormatBool(o.SkipLocalSearch),
+		canonicalLocalSearch(o.LocalSearch),
+		canonicalOrder(o.Order),
+		strconv.FormatBool(o.ShardOff),
+		strconv.FormatInt(o.Seed, 10),
+	}
+}

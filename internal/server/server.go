@@ -86,6 +86,7 @@ type service struct {
 	flights   solvecache.Group
 	dsFlights solvecache.Group
 	sched     *solvecache.Scheduler
+	shardPool *solvecache.Pool
 	dedups    *obs.Counter
 	cancels   *obs.Counter
 }
@@ -103,18 +104,6 @@ type SolveRequest struct {
 	Constraints string `json:"constraints"`
 	// Options tunes the solver.
 	Options SolveOptions `json:"options"`
-}
-
-// SolveOptions mirrors the fact.Config knobs exposed over HTTP.
-type SolveOptions struct {
-	Iterations      int    `json:"iterations,omitempty"`
-	MergeLimit      int    `json:"merge_limit,omitempty"`
-	TabuLength      int    `json:"tabu_length,omitempty"`
-	MaxNoImprove    int    `json:"max_no_improve,omitempty"`
-	SkipLocalSearch bool   `json:"skip_local_search,omitempty"`
-	LocalSearch     string `json:"local_search,omitempty"` // "tabu" | "anneal"
-	Seed            int64  `json:"seed,omitempty"`
-	Parallelism     int    `json:"parallelism,omitempty"`
 }
 
 // SolverStats folds the solver's per-request telemetry into the response:
@@ -149,12 +138,46 @@ type SolveResponse struct {
 	Solver             SolverStats `json:"solver_stats"`
 }
 
-// errorBody is the JSON error payload; the request id lets clients quote a
+// errorEnvelope is the single JSON error shape of the API: every error
+// path, on every route and version, responds `{"error":{"code","message"}}`
+// (plus optional reasons and the request id). Clients switch on the stable
+// machine-readable code; the message is for humans.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+// errorDetail is the envelope payload; the request id lets clients quote a
 // failing call when reporting it against the access log.
-type errorBody struct {
-	Error     string   `json:"error"`
+type errorDetail struct {
+	Code      string   `json:"code"`
+	Message   string   `json:"message"`
 	Reasons   []string `json:"reasons,omitempty"`
 	RequestID string   `json:"request_id,omitempty"`
+}
+
+// errorCode maps a status onto the envelope's stable code vocabulary.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnprocessableEntity:
+		return "infeasible"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case statusClientClosed:
+		return "client_closed"
+	case http.StatusNotFound:
+		return "not_found"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "error"
+	}
 }
 
 // NewHandler builds the service's HTTP handler: the API routes wrapped in
@@ -205,11 +228,18 @@ func NewHandler(cfg Config) http.Handler {
 		Rejected:  reg.Counter("emp_solve_queue_rejected_total", "Solves shed with 429 because the queue was full or the wait budget elapsed."),
 		Abandoned: reg.Counter("emp_solve_queue_abandoned_total", "Queued solves whose context was cancelled before a slot freed."),
 	})
+	s.shardPool = solvecache.NewPool(s.sched.Workers())
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/datasets", s.handleDatasets)
-	mux.HandleFunc("/solve", s.handleSolve)
-	mux.Handle("/metrics", reg.MetricsHandler())
+	// The canonical surface lives under /v1/; the bare paths stay mounted as
+	// aliases for pre-versioning clients. Both prefixes hit the same
+	// handlers, so success responses are byte-identical and the route metric
+	// label is shared (routeLabel strips the version prefix).
+	for _, prefix := range []string{"", "/v1"} {
+		mux.HandleFunc(prefix+"/healthz", s.handleHealth)
+		mux.HandleFunc(prefix+"/datasets", s.handleDatasets)
+		mux.HandleFunc(prefix+"/solve", s.handleSolve)
+		mux.Handle(prefix+"/metrics", reg.MetricsHandler())
+	}
 	// Request-id first so the instrument layer (access log) sees the id.
 	return withRequestID(s.instrument(mux))
 }
@@ -287,23 +317,15 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "no constraints given", nil)
 		return
 	}
-	cfg := fact.Config{
-		Iterations:      req.Options.Iterations,
-		MergeLimit:      req.Options.MergeLimit,
-		TabuLength:      req.Options.TabuLength,
-		MaxNoImprove:    req.Options.MaxNoImprove,
-		SkipLocalSearch: req.Options.SkipLocalSearch,
-		Seed:            req.Options.Seed,
-		Parallelism:     req.Options.Parallelism,
-	}
-	switch req.Options.LocalSearch {
-	case "", "tabu":
-	case "anneal":
-		cfg.LocalSearch = fact.LocalSearchAnneal
-	default:
-		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("unknown local_search %q", req.Options.LocalSearch), nil)
+	cfg, err := req.Options.Config()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
+	// Sub-solve fan-out of sharded solves draws from the service-wide pool
+	// so the aggregate parallelism respects one worker budget no matter how
+	// many sharded solves run concurrently.
+	cfg.ShardPool = s.shardPool
 
 	fp := solveFingerprint(&req, set)
 	if v, ok := s.resCache.Get(fp); ok {
@@ -374,9 +396,14 @@ func buildResponse(res *fact.Result) SolveResponse {
 	}
 }
 
-// writeError sends the JSON error payload, tagged with the request id.
+// writeError sends the JSON error envelope, tagged with the request id.
 func (s *service) writeError(w http.ResponseWriter, r *http.Request, status int, msg string, reasons []string) {
-	writeJSON(w, status, errorBody{Error: msg, Reasons: reasons, RequestID: RequestIDFrom(r.Context())})
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:      errorCode(status),
+		Message:   msg,
+		Reasons:   reasons,
+		RequestID: RequestIDFrom(r.Context()),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -25,6 +25,19 @@ func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.
 	return rec, out
 }
 
+// decodeError unwraps the JSON error envelope every error path must emit.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) errorDetail {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("response is not an error envelope: %v\n%s", err, rec.Body.String())
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error envelope missing code or message: %s", rec.Body.String())
+	}
+	return env.Error
+}
+
 func TestHealth(t *testing.T) {
 	rec, out := doJSON(t, Handler(), http.MethodGet, "/healthz", "")
 	if rec.Code != http.StatusOK {
@@ -137,15 +150,15 @@ func TestSolveParallelIterations(t *testing.T) {
 
 func TestSolveInfeasible(t *testing.T) {
 	body := `{"named":"1k","scale":0.08,"constraints":"SUM(TOTALPOP) >= 1000000000"}`
-	rec, out := doJSON(t, Handler(), http.MethodPost, "/solve", body)
+	rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", body)
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	if string(out["error"]) != `"infeasible"` {
-		t.Errorf("error = %s", out["error"])
+	detail := decodeError(t, rec)
+	if detail.Code != "infeasible" {
+		t.Errorf("error code = %q, want infeasible", detail.Code)
 	}
-	var reasons []string
-	if err := json.Unmarshal(out["reasons"], &reasons); err != nil || len(reasons) == 0 {
+	if len(detail.Reasons) == 0 {
 		t.Error("reasons missing")
 	}
 }
@@ -168,6 +181,9 @@ func TestSolveBadRequests(t *testing.T) {
 			rec, _ := doJSON(t, Handler(), http.MethodPost, "/solve", tc.body)
 			if rec.Code != http.StatusBadRequest {
 				t.Errorf("status = %d: %s", rec.Code, rec.Body.String())
+			}
+			if detail := decodeError(t, rec); detail.Code != "bad_request" {
+				t.Errorf("error code = %q, want bad_request", detail.Code)
 			}
 		})
 	}

@@ -60,11 +60,10 @@ func canonicalLocalSearch(ls string) string {
 // solveFingerprint computes the canonical cache/dedup key of a solve
 // request: the normalized dataset source, the parsed-and-reprinted
 // constraint set (so whitespace and formatting variants share an entry), and
-// every solver option that can influence the result. Options.Parallelism is
-// deliberately excluded — results are deterministic per seed regardless of
-// parallelism (a property the fact package pins with a regression test), so
-// requests differing only in worker count share one entry. The caller must
-// have normalized Options.Seed already.
+// every solver option that can influence the result (the option subset is
+// owned by SolveOptions.fingerprintParts, next to the wire struct, so new
+// knobs cannot miss the fingerprint). The caller must have normalized
+// Options.Seed already.
 func solveFingerprint(req *SolveRequest, set constraint.Set) string {
 	opt := &req.Options
 	var src [3]string
@@ -75,17 +74,8 @@ func solveFingerprint(req *SolveRequest, set constraint.Set) string {
 	} else {
 		src = [3]string{"inline", string(req.Dataset), ""}
 	}
-	return solvecache.Key(
-		src[0], src[1], src[2],
-		set.String(),
-		strconv.Itoa(opt.Iterations),
-		strconv.Itoa(opt.MergeLimit),
-		strconv.Itoa(opt.TabuLength),
-		strconv.Itoa(opt.MaxNoImprove),
-		strconv.FormatBool(opt.SkipLocalSearch),
-		canonicalLocalSearch(opt.LocalSearch),
-		strconv.FormatInt(opt.Seed, 10),
-	)
+	parts := append([]string{src[0], src[1], src[2], set.String()}, opt.fingerprintParts()...)
+	return solvecache.Key(parts...)
 }
 
 // datasetKey keys the dataset artifact cache by everything generation

@@ -16,12 +16,16 @@ func TestSolveBodyTooLarge(t *testing.T) {
 	h := NewHandler(Config{Registry: obs.New(), MaxBodyBytes: 256})
 	body := `{"named":"1k","constraints":"SUM(TOTALPOP) >= 1","junk":"` +
 		strings.Repeat("x", 1024) + `"}`
-	rec, out := doJSON(t, h, http.MethodPost, "/solve", body)
+	rec, _ := doJSON(t, h, http.MethodPost, "/solve", body)
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413: %s", rec.Code, rec.Body.String())
 	}
-	if !strings.Contains(string(out["error"]), "256") {
-		t.Errorf("error should name the limit: %s", out["error"])
+	detail := decodeError(t, rec)
+	if detail.Code != "payload_too_large" {
+		t.Errorf("error code = %q, want payload_too_large", detail.Code)
+	}
+	if !strings.Contains(detail.Message, "256") {
+		t.Errorf("error should name the limit: %s", detail.Message)
 	}
 }
 
@@ -37,15 +41,19 @@ func TestMethodNotAllowedHeaders(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
-			rec, out := doJSON(t, h, tc.method, tc.path, "")
+			rec, _ := doJSON(t, h, tc.method, tc.path, "")
 			if rec.Code != http.StatusMethodNotAllowed {
 				t.Fatalf("status = %d, want 405", rec.Code)
 			}
 			if allow := rec.Header().Get("Allow"); !strings.Contains(allow, tc.allow) {
 				t.Errorf("Allow = %q, want %q", allow, tc.allow)
 			}
-			if tc.path != "/metrics" { // /metrics serves text, not the JSON error body
-				if len(out["request_id"]) <= 2 {
+			if tc.path != "/metrics" { // /metrics serves text, not the JSON error envelope
+				detail := decodeError(t, rec)
+				if detail.Code != "method_not_allowed" {
+					t.Errorf("error code = %q, want method_not_allowed", detail.Code)
+				}
+				if detail.RequestID == "" {
 					t.Errorf("error body missing request_id: %s", rec.Body.String())
 				}
 			}
@@ -73,12 +81,8 @@ func TestRequestIDPropagation(t *testing.T) {
 	req.Header.Set("X-Request-ID", "err-77")
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	var body errorBody
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
-		t.Fatal(err)
-	}
-	if body.RequestID != "err-77" {
-		t.Errorf("error request_id = %q", body.RequestID)
+	if detail := decodeError(t, rec); detail.RequestID != "err-77" {
+		t.Errorf("error request_id = %q", detail.RequestID)
 	}
 }
 

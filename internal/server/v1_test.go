@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"emp/internal/obs"
+)
+
+// doV1 issues a request with a pinned X-Request-ID so responses are
+// comparable byte for byte across paths.
+func doV1(h http.Handler, method, path, body, rid string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	req.Header.Set("X-Request-ID", rid)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestV1SolveByteIdentical: the versioned and bare solve endpoints are the
+// same handler, so with a pinned request id the success responses must be
+// byte-identical.
+func TestV1SolveByteIdentical(t *testing.T) {
+	h := NewHandler(Config{Registry: obs.New()})
+	body := `{"named":"1k","scale":0.1,"constraints":"SUM(TOTALPOP) >= 20000","options":{"seed":1,"skip_local_search":true}}`
+	legacy := doV1(h, http.MethodPost, "/solve", body, "pin-1")
+	v1 := doV1(h, http.MethodPost, "/v1/solve", body, "pin-1")
+	if legacy.Code != http.StatusOK || v1.Code != http.StatusOK {
+		t.Fatalf("status = %d / %d: %s", legacy.Code, v1.Code, v1.Body.String())
+	}
+	if !bytes.Equal(legacy.Body.Bytes(), v1.Body.Bytes()) {
+		t.Errorf("/solve and /v1/solve responses differ:\n%s\n%s", legacy.Body.String(), v1.Body.String())
+	}
+}
+
+// TestV1Routes: every endpoint answers under both prefixes.
+func TestV1Routes(t *testing.T) {
+	h := NewHandler(Config{Registry: obs.New()})
+	for _, path := range []string{"/healthz", "/v1/healthz", "/datasets", "/v1/datasets", "/metrics", "/v1/metrics"} {
+		rec := doV1(h, http.MethodGet, path, "", "r")
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d", path, rec.Code)
+		}
+	}
+}
+
+// TestV1ErrorEnvelope: error paths on the versioned surface emit the same
+// envelope, and unknown paths 404 through the mux (no envelope guarantee
+// there — the mux writes text — so only the API handlers are asserted).
+func TestV1ErrorEnvelope(t *testing.T) {
+	h := NewHandler(Config{Registry: obs.New()})
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{http.MethodGet, "/v1/solve", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodPost, "/v1/solve", `{`, http.StatusBadRequest, "bad_request"},
+		{http.MethodPost, "/v1/solve", `{"named":"1k","scale":0.05,"constraints":"SUM(TOTALPOP) >= 1000000000"}`,
+			http.StatusUnprocessableEntity, "infeasible"},
+		{http.MethodPost, "/v1/datasets", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, tc := range cases {
+		rec := doV1(h, tc.method, tc.path, tc.body, "env-1")
+		if rec.Code != tc.status {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, rec.Code, tc.status)
+			continue
+		}
+		detail := decodeError(t, rec)
+		if detail.Code != tc.code {
+			t.Errorf("%s %s error code = %q, want %q", tc.method, tc.path, detail.Code, tc.code)
+		}
+		if detail.RequestID != "env-1" {
+			t.Errorf("%s %s error request_id = %q", tc.method, tc.path, detail.RequestID)
+		}
+	}
+}
+
+// TestV1RouteMetricsShared: /v1/solve and /solve count into the same route
+// label so the version prefix does not double metric cardinality.
+func TestV1RouteMetricsShared(t *testing.T) {
+	for _, tc := range []struct{ path, want string }{
+		{"/solve", "/solve"},
+		{"/v1/solve", "/solve"},
+		{"/v1/metrics", "/metrics"},
+		{"/v1/healthz", "/healthz"},
+		{"/v1/datasets", "/datasets"},
+		{"/v1/unknown", "other"},
+		{"/v1", "other"},
+		{"/other", "other"},
+	} {
+		if got := routeLabel(tc.path); got != tc.want {
+			t.Errorf("routeLabel(%q) = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestV1SolveSharedCache: a solve served on the bare path is a cache hit on
+// the v1 path (same fingerprint), proving the alias shares all serving
+// machinery.
+func TestV1SolveSharedCache(t *testing.T) {
+	reg := obs.New()
+	h := NewHandler(Config{Registry: reg})
+	body := `{"named":"1k","scale":0.1,"constraints":"SUM(TOTALPOP) >= 20000","options":{"seed":3,"skip_local_search":true}}`
+	if rec := doV1(h, http.MethodPost, "/solve", body, "a"); rec.Code != http.StatusOK {
+		t.Fatalf("first solve = %d", rec.Code)
+	}
+	if rec := doV1(h, http.MethodPost, "/v1/solve", body, "b"); rec.Code != http.StatusOK {
+		t.Fatalf("second solve = %d", rec.Code)
+	}
+	rec := doV1(h, http.MethodGet, "/v1/metrics", "", "m")
+	m := parseMetrics(t, rec.Body.String())
+	if m["emp_result_cache_hits_total"] < 1 {
+		t.Errorf("result cache hits = %v, want >= 1 (v1 alias must share the cache)", m["emp_result_cache_hits_total"])
+	}
+}

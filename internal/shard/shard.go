@@ -1,0 +1,130 @@
+// Package shard decomposes a regionalization instance into its connected
+// components. Regions are contiguous, so they can never span components of
+// the contiguity graph: each component is an independent EMP sub-instance
+// that can be solved in isolation and in parallel (the same decomposition
+// the strong-ILP p-regions formulations apply before solving).
+//
+// The package owns the pure machinery — component discovery, sub-dataset
+// construction with index remapping in both directions, a bounded concurrent
+// runner, and the deterministic merge of per-shard partitions back into
+// global area indices. The solver-facing orchestration (running FaCT per
+// shard, folding feasibility reports and telemetry) lives in internal/fact,
+// which keeps this package free of solver imports.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"emp/internal/data"
+	"emp/internal/solvecache"
+)
+
+// Shard is one connected-component sub-instance.
+type Shard struct {
+	// Component is the dense component id (order of lowest global area id).
+	Component int
+	// Dataset is the sub-dataset restricted to the component's areas, with
+	// adjacency remapped to local ids 0..len(GlobalIDs)-1.
+	Dataset *data.Dataset
+	// GlobalIDs maps local area ids to global ones (local id i is global
+	// area GlobalIDs[i]). The list is ascending.
+	GlobalIDs []int
+}
+
+// ToGlobal maps a list of local area ids to global ids.
+func (s *Shard) ToGlobal(local []int) []int {
+	out := make([]int, len(local))
+	for i, a := range local {
+		out[i] = s.GlobalIDs[a]
+	}
+	return out
+}
+
+// Plan is the component decomposition of one dataset.
+type Plan struct {
+	// Shards lists the sub-instances in component order. The order is a
+	// deterministic function of the dataset's adjacency alone, which is what
+	// makes the merged output independent of solve concurrency.
+	Shards []Shard
+	// Component maps each global area id to its component id.
+	Component []int
+	// Local maps each global area id to its local id within its shard.
+	Local []int
+}
+
+// NewPlan decomposes the dataset into one shard per connected component.
+// Single-component datasets yield a one-shard plan; callers usually skip
+// sharding for those.
+func NewPlan(ds *data.Dataset) (*Plan, error) {
+	comp, members := ds.Graph().ComponentSlices()
+	p := &Plan{
+		Shards:    make([]Shard, len(members)),
+		Component: comp,
+		Local:     make([]int, ds.N()),
+	}
+	for c, ids := range members {
+		sub, err := ds.Subset(ids)
+		if err != nil {
+			return nil, fmt.Errorf("shard: component %d: %w", c, err)
+		}
+		sub.Name = fmt.Sprintf("%s#%d", ds.Name, c)
+		p.Shards[c] = Shard{Component: c, Dataset: sub, GlobalIDs: ids}
+		for local, global := range ids {
+			p.Local[global] = local
+		}
+	}
+	return p, nil
+}
+
+// MergeRegions concatenates per-shard region member lists (given in local
+// ids) into global-id member lists, in shard order. perShard must be
+// parallel to Plan.Shards; a nil entry (e.g. an infeasible component)
+// contributes nothing, leaving its areas unassigned.
+func (p *Plan) MergeRegions(perShard [][][]int) [][]int {
+	var out [][]int
+	for i := range p.Shards {
+		if i >= len(perShard) {
+			break
+		}
+		for _, members := range perShard[i] {
+			out = append(out, p.Shards[i].ToGlobal(members))
+		}
+	}
+	return out
+}
+
+// Run executes fn(0), ..., fn(n-1) concurrently, bounded by the pool. It
+// waits for every started call to return. The first error by lowest index
+// wins (deterministic regardless of completion order); a context cancelled
+// while waiting for a slot stops admitting new work and returns ctx.Err()
+// unless an fn error outranks it.
+func Run(ctx context.Context, n int, pool *solvecache.Pool, fn func(i int) error) error {
+	if pool == nil {
+		pool = solvecache.NewPool(0)
+	}
+	errs := make([]error, n)
+	var ctxErr error
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		release, err := pool.Acquire(ctx)
+		if err != nil {
+			ctxErr = err
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer release()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctxErr
+}

@@ -1,0 +1,52 @@
+package solvecache
+
+import (
+	"context"
+	"runtime"
+)
+
+// Pool is a blocking bounded slot pool for intra-solve fan-out, such as the
+// component shards of a sharded solve. It complements Scheduler: the
+// scheduler admission-controls whole solves and sheds work under overload,
+// while a Pool never sheds — callers wait until a slot frees or their
+// context ends. Sharing one Pool across concurrent solves keeps the
+// aggregate fan-out parallelism within one worker budget no matter how many
+// sharded solves run at once.
+//
+// Liveness: slots are only held while a unit of work executes and every
+// holder releases on return, so waiters always make progress; there is no
+// nested acquisition.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool builds a pool with n slots; n <= 0 defaults to GOMAXPROCS (the
+// fan-out is CPU-bound solver work).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{slots: make(chan struct{}, n)}
+}
+
+// Size returns the number of slots.
+func (p *Pool) Size() int { return cap(p.slots) }
+
+// Acquire claims a slot, blocking until one frees or the context ends. It
+// returns the release function on success; the caller must invoke it exactly
+// once.
+func (p *Pool) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case p.slots <- struct{}{}:
+		return p.release, nil
+	default:
+	}
+	select {
+	case p.slots <- struct{}{}:
+		return p.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *Pool) release() { <-p.slots }

@@ -1,0 +1,86 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolDefaultSize(t *testing.T) {
+	if got := NewPool(0).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default size %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewPool(3).Size(); got != 3 {
+		t.Fatalf("size %d, want 3", got)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const slots, tasks = 2, 16
+	p := NewPool(slots)
+	var cur, max atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := p.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			defer release()
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > slots {
+		t.Fatalf("observed %d concurrent holders, pool has %d slots", m, slots)
+	}
+}
+
+func TestPoolAcquireCancel(t *testing.T) {
+	p := NewPool(1)
+	release, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on full pool with cancelled ctx: %v, want context.Canceled", err)
+	}
+	release()
+	// The freed slot is acquirable again even with an expired deadline still
+	// pending elsewhere.
+	release2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestPoolAcquirePrefersSlotOverDoneContext(t *testing.T) {
+	// A free slot must win even when the context is already cancelled: the
+	// first non-blocking select tries the slot before looking at ctx.Done().
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("Acquire with free slot and cancelled ctx: %v", err)
+	}
+	release()
+}

@@ -30,8 +30,10 @@ type Counters struct {
 	RemovabilityPasses int64
 }
 
-// add folds o into c.
-func (c *Counters) add(o Counters) {
+// Add folds o into c; callers that aggregate multiple runs (e.g. the
+// sharded solve pipeline summing per-component search profiles) use it to
+// keep one global profile.
+func (c *Counters) Add(o Counters) {
 	c.CandidateEvals += o.CandidateEvals
 	c.HeapPushes += o.HeapPushes
 	c.HeapPops += o.HeapPops
