@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check bench bench-smoke bench-tabu bench-obs bench-serve bench-shard
+.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-fault
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ staticcheck:
 # best-candidate slot that plain `go test` never exercises for races).
 check: vet staticcheck race
 
+# chaos runs the fault-injection suite under the race detector: seeded,
+# deterministic failure scenarios (deadline mid-search, shard panics,
+# transient retries, injected cancellation) against internal/fact, the fault
+# registry itself, and the server robustness surface (/readyz drain,
+# timeout_ms clamping, degraded-response caching). See docs/ROBUSTNESS.md.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestConstructionBudget|TestReadiness|TestSolveTimeout|TestSolveDeadline504|TestSolveDegraded|TestSolveDatasetGenerationRetry|TestSchedulerSaturated' \
+		./internal/fact/ ./internal/server/ ./internal/solvecache/
+	$(GO) test -race ./internal/fault/
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
@@ -58,3 +68,9 @@ bench-serve:
 # check). Speedup tracks GOMAXPROCS; see docs/SHARDING.md.
 bench-shard:
 	$(GO) run ./cmd/empbench -benchshard
+
+# bench-fault regenerates BENCH_fault.json (graceful degradation under
+# shrinking deadlines, shard-panic survival, transient-failure retries). The
+# default scale keeps it CI-grade; see docs/ROBUSTNESS.md for the legs.
+bench-fault:
+	$(GO) run ./cmd/empbench -benchfault

@@ -41,6 +41,7 @@ func main() {
 		benchObs   = flag.Bool("benchobs", false, "run the telemetry overhead benchmark and write BENCH_obs.json")
 		benchServe = flag.Bool("benchserve", false, "run the serving throughput benchmark and write BENCH_serve.json")
 		benchShard = flag.Bool("benchshard", false, "run the component-sharding benchmark and write BENCH_shard.json")
+		benchFault = flag.Bool("benchfault", false, "run the fault-injection/degradation benchmark and write BENCH_fault.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
@@ -97,6 +98,19 @@ func main() {
 			res.LegacySeconds, res.SeqSeconds, res.ShardWorkers, res.ShardSeconds,
 			res.Speedup, res.IdenticalAcrossWorkers)
 		fmt.Println("wrote BENCH_shard.json")
+		return
+	}
+	if *benchFault {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteFaultBench(cfg, "BENCH_fault.json")
+		if err != nil {
+			log.Fatalf("benchfault: %v", err)
+		}
+		fmt.Printf("fault on %s (%d areas, %d components): baseline %.3fs p=%d H=%.1f; %d deadline points; panic leg survived=%v (p=%d, %d unassigned, %d panics recovered); retry leg ok=%v (%d retries)\n",
+			res.Dataset, res.Areas, res.Components, res.BaselineSeconds, res.BaselineP, res.BaselineHetero,
+			len(res.DeadlinePoints), res.PanicSurvived, res.PanicP, res.PanicUnassigned, res.PanicsRecovered,
+			res.RetrySucceeded, res.RetryShardRetries)
+		fmt.Println("wrote BENCH_fault.json")
 		return
 	}
 	if *benchTabu {

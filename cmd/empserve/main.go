@@ -4,25 +4,29 @@
 //
 //	empserve -addr :8080 [-debug-addr :8081] [-max-body 67108864] [-quiet]
 //	         [-workers N] [-queue-depth N] [-queue-wait 10s]
+//	         [-max-timeout 5m] [-drain-grace 15s]
 //	         [-dataset-cache-mb 256] [-result-cache-mb 64]
 //
 // Solves run on a bounded worker pool behind a FIFO queue; when the queue
 // is full or a queued solve exceeds -queue-wait the request is shed with
 // 429 and a Retry-After hint. Generated datasets and finished results are
 // cached (see docs/SERVING.md); identical concurrent requests share one
-// solve execution.
+// solve execution. Every solve runs under a deadline: the request's
+// timeout_ms clamped to -max-timeout (docs/ROBUSTNESS.md).
 //
 // Endpoints (every path is also mounted under the versioned /v1 prefix,
 // e.g. /v1/solve; both spellings hit the same handlers, caches and metrics,
 // and all errors arrive as one JSON envelope
 // {"error":{"code","message",...}} — see docs/SERVING.md):
 //
-//	GET  /healthz   liveness probe
+//	GET  /healthz   liveness probe (200 while the process serves HTTP)
+//	GET  /readyz    readiness probe (503 while draining or queue-saturated)
 //	GET  /datasets  list the named synthetic datasets
 //	GET  /metrics   Prometheus text metrics (solver + HTTP)
 //	POST /solve     run an EMP query; body:
 //	                {"named":"2k","scale":0.25,
 //	                 "constraints":"MIN(POP16UP) <= 3000; SUM(TOTALPOP) >= 20k",
+//	                 "timeout_ms":60000,
 //	                 "options":{"seed":1,"local_search":"tabu"}}
 //	                or with an inline {"dataset":{...}} document in the
 //	                schema produced by empgen.
@@ -35,14 +39,19 @@
 // /debug/pprof/ and the expvar JSON (including an "emp" metrics snapshot)
 // under /debug/vars. Keep it on a loopback or otherwise private address.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight solves get
-// up to 15 seconds to finish before the listener is torn down.
+// The server shuts down gracefully on SIGINT/SIGTERM: /readyz flips to 503
+// immediately so load balancers drain the instance, then after -drain-grace
+// in-flight solves get up to 15 seconds to finish before the listener is
+// torn down. Nonsensical flag values (negative -workers, -queue-depth below
+// -1, non-positive -queue-wait, -max-body or -max-timeout) are rejected at
+// startup with exit status 2.
 package main
 
 import (
 	"context"
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -65,12 +74,19 @@ func main() {
 		maxBody    = flag.Int64("max-body", server.DefaultMaxBodyBytes, "POST /solve body size limit in bytes")
 		quiet      = flag.Bool("quiet", false, "disable the per-request access log")
 		workers    = flag.Int("workers", 0, "max concurrently executing solves (0 = GOMAXPROCS)")
-		queueDep   = flag.Int("queue-depth", 0, "solves allowed to wait for a worker (0 = 4x workers, negative = no queue)")
+		queueDep   = flag.Int("queue-depth", 0, "solves allowed to wait for a worker (0 = 4x workers, -1 = no queue)")
 		queueWait  = flag.Duration("queue-wait", server.DefaultQueueWait, "max time a solve may wait queued before a 429")
+		maxTimeout = flag.Duration("max-timeout", server.DefaultMaxSolveTimeout, "per-solve deadline ceiling; request timeout_ms is clamped to it")
+		drainGrace = flag.Duration("drain-grace", 15*time.Second, "pause between flipping /readyz to 503 and closing the listener, so load balancers observe the drain")
 		dsCacheMB  = flag.Int64("dataset-cache-mb", server.DefaultDatasetCacheBytes>>20, "dataset artifact cache budget in MiB (negative disables)")
 		resCacheMB = flag.Int64("result-cache-mb", server.DefaultResultCacheBytes>>20, "solve result cache budget in MiB (negative disables)")
 	)
 	flag.Parse()
+	if err := validateFlags(*workers, *queueDep, *queueWait, *maxBody, *maxTimeout, *drainGrace); err != nil {
+		log.Print(err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	// Wire the solver packages into the process-wide registry so /metrics
 	// reflects every solve served by this process.
@@ -91,15 +107,17 @@ func main() {
 		Workers:           *workers,
 		QueueDepth:        *queueDep,
 		QueueWait:         *queueWait,
+		MaxSolveTimeout:   *maxTimeout,
 		DatasetCacheBytes: mb(*dsCacheMB),
 		ResultCacheBytes:  mb(*resCacheMB),
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
 	}
+	svc := server.New(cfg)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewHandler(cfg),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -134,6 +152,18 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills hard
+		// Flip readiness first so load balancers stop routing here, keep
+		// serving in-flight (and newly arriving) requests through the drain
+		// grace, then tear the listener down.
+		svc.SetDraining(true)
+		log.Printf("draining: /readyz now 503, waiting %s before closing the listener", *drainGrace)
+		select {
+		case <-time.After(*drainGrace):
+		case err := <-errc:
+			if err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}
 		log.Printf("shutting down (in-flight requests get 15s)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
@@ -141,6 +171,31 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 	}
+}
+
+// validateFlags rejects nonsensical serving configurations at startup, before
+// any listener binds: a misconfigured instance exiting with status 2 is
+// diagnosable, the same instance silently "defaulting" mid-traffic is not.
+func validateFlags(workers, queueDep int, queueWait time.Duration, maxBody int64, maxTimeout, drainGrace time.Duration) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if queueDep < -1 {
+		return fmt.Errorf("-queue-depth must be >= -1 (-1 = no queue, 0 = 4x workers), got %d", queueDep)
+	}
+	if queueWait <= 0 {
+		return fmt.Errorf("-queue-wait must be positive, got %v", queueWait)
+	}
+	if maxBody <= 0 {
+		return fmt.Errorf("-max-body must be positive, got %d", maxBody)
+	}
+	if maxTimeout <= 0 {
+		return fmt.Errorf("-max-timeout must be positive, got %v", maxTimeout)
+	}
+	if drainGrace < 0 {
+		return fmt.Errorf("-drain-grace must be >= 0, got %v", drainGrace)
+	}
+	return nil
 }
 
 // debugMux serves pprof and expvar on the opt-in debug listener. The routes

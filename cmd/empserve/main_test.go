@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"emp/internal/server"
+)
+
+// TestValidateFlags pins the startup contract: nonsensical serving flags are
+// rejected (main exits with status 2) instead of being silently "fixed" into
+// defaults mid-traffic; every sane configuration passes.
+func TestValidateFlags(t *testing.T) {
+	ok := func(workers, queueDep int, queueWait time.Duration, maxBody int64, maxTimeout, drainGrace time.Duration) error {
+		return validateFlags(workers, queueDep, queueWait, maxBody, maxTimeout, drainGrace)
+	}
+	valid := []struct {
+		name string
+		err  error
+	}{
+		{"defaults", ok(0, 0, server.DefaultQueueWait, server.DefaultMaxBodyBytes, server.DefaultMaxSolveTimeout, 15*time.Second)},
+		{"no queue", ok(4, -1, time.Second, 1, time.Millisecond, 0)},
+	}
+	for _, tc := range valid {
+		if tc.err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, tc.err)
+		}
+	}
+	invalid := []struct {
+		name string
+		err  error
+	}{
+		{"negative workers", ok(-1, 0, time.Second, 1, time.Second, 0)},
+		{"queue depth below -1", ok(0, -2, time.Second, 1, time.Second, 0)},
+		{"zero queue wait", ok(0, 0, 0, 1, time.Second, 0)},
+		{"negative queue wait", ok(0, 0, -time.Second, 1, time.Second, 0)},
+		{"zero max body", ok(0, 0, time.Second, 0, time.Second, 0)},
+		{"negative max body", ok(0, 0, time.Second, -1, time.Second, 0)},
+		{"zero max timeout", ok(0, 0, time.Second, 1, 0, 0)},
+		{"negative max timeout", ok(0, 0, time.Second, 1, -time.Second, 0)},
+		{"negative drain grace", ok(0, 0, time.Second, 1, time.Second, -time.Second)},
+	}
+	for _, tc := range invalid {
+		if tc.err == nil {
+			t.Errorf("%s: accepted, want an error (exit 2 at startup)", tc.name)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"emp/internal/fault"
 	"emp/internal/obs"
 	"emp/internal/region"
 	"emp/internal/tabu"
@@ -135,8 +136,13 @@ func improve(p *region.Partition, cfg Config) Stats {
 	stats := Stats{BestScore: best}
 
 	for step := 0; step < steps; step++ {
-		if cfg.Ctx != nil && step%ctxCheckEvery == 0 && cfg.Ctx.Err() != nil {
-			break // cancelled: fall through to the revert-to-best epilogue
+		if step%ctxCheckEvery == 0 {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				break // cancelled: fall through to the revert-to-best epilogue
+			}
+			if fault.Inject("anneal.epoch") != nil {
+				break // injected stop: same path as a cancellation
+			}
 		}
 		area := assigned[rng.Intn(len(assigned))]
 		to, ok := randomTarget(p, rng, area)

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"emp/internal/data"
+	"emp/internal/fault"
 	"emp/internal/geom"
 )
 
@@ -99,6 +100,9 @@ type Options struct {
 
 // Generate builds a synthetic census dataset.
 func Generate(opt Options) (*data.Dataset, error) {
+	if err := fault.Inject("census.generate"); err != nil {
+		return nil, fmt.Errorf("census: generating %q: %w", opt.Name, err)
+	}
 	if opt.Areas <= 0 {
 		return nil, fmt.Errorf("census: Areas must be positive, got %d", opt.Areas)
 	}

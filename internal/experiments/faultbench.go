@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/fact"
+	"emp/internal/fault"
+	"emp/internal/obs"
+)
+
+// FaultBenchPoint is one deadline leg of the fault benchmark: the same solve
+// under a progressively tighter budget.
+type FaultBenchPoint struct {
+	TimeoutMillis int64   `json:"timeout_ms"`
+	Seconds       float64 `json:"seconds"`
+	P             int     `json:"p"`
+	Hetero        float64 `json:"hetero"`
+	Degraded      bool    `json:"degraded"`
+	Warnings      int     `json:"warnings"`
+	// Failed marks budgets so tight no incumbent was constructed (the solve
+	// errored with DeadlineExceeded instead of degrading).
+	Failed bool `json:"failed"`
+}
+
+// FaultBenchResult is the JSON artifact written by `empbench -benchfault`:
+// how gracefully the solver degrades under deadline pressure, shard panics
+// and injected transient failures. The baseline leg runs without a deadline;
+// the deadline legs shrink the budget and record whether the answer stayed
+// valid (p and H never worse than the construction incumbent — degraded, not
+// broken); the panic leg poisons one shard persistently and shows the solve
+// surviving with that component's areas unassigned; the retry leg injects a
+// once-only transient failure and shows the retry path absorbing it.
+type FaultBenchResult struct {
+	Dataset    string `json:"dataset"`
+	Areas      int    `json:"areas"`
+	Components int    `json:"components"`
+
+	BaselineSeconds      float64 `json:"baseline_seconds"`
+	BaselineP            int     `json:"baseline_p"`
+	BaselineHetero       float64 `json:"baseline_hetero"`
+	BaselineHeteroBefore float64 `json:"baseline_hetero_before"`
+
+	DeadlinePoints []FaultBenchPoint `json:"deadline_points"`
+
+	// Panic leg: one shard panics on every attempt.
+	PanicSurvived       bool  `json:"panic_survived"`
+	PanicDegraded       bool  `json:"panic_degraded"`
+	PanicP              int   `json:"panic_p"`
+	PanicUnassigned     int   `json:"panic_unassigned"`
+	PanicWarnings       int   `json:"panic_warnings"`
+	PanicsRecovered     int64 `json:"panics_recovered"`
+	PanicShardRetries   int64 `json:"panic_shard_retries"`
+	PanicDegradedSolves int64 `json:"panic_degraded_solves"`
+
+	// Retry leg: one shard fails transiently exactly once.
+	RetrySucceeded    bool  `json:"retry_succeeded"`
+	RetryDegraded     bool  `json:"retry_degraded"`
+	RetryShardRetries int64 `json:"retry_shard_retries"`
+}
+
+// FaultBench runs the four legs on a multi-component census dataset (so the
+// sharded pipeline, where the isolation boundaries live, engages).
+func FaultBench(cfg Config) (*FaultBenchResult, error) {
+	cfg = cfg.withDefaults()
+	areas := int(4000 * cfg.Scale)
+	if areas < 400 {
+		areas = 400
+	}
+	ds, err := census.Generate(census.Options{
+		Name:       "faultbench",
+		Areas:      areas,
+		States:     4,
+		Components: 4,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	set, err := constraint.ParseSet("SUM(TOTALPOP) >= 25000")
+	if err != nil {
+		return nil, err
+	}
+
+	// A private registry makes the robustness counters readable; restored to
+	// unbound on exit so the bench leaves no global state behind.
+	reg := obs.New()
+	reg.SetEnabled(true)
+	fact.SetMetrics(reg)
+	defer fact.SetMetrics(nil)
+	degradedC := reg.Counter("emp_solve_degraded_total", "")
+	retriesC := reg.Counter("emp_shard_retries_total", "")
+	panicsC := reg.Counter("emp_panics_recovered_total", "")
+
+	base := fact.Config{Seed: cfg.Seed, Iterations: 2}
+	solve := func(ctx context.Context, c fact.Config) (*fact.Result, float64, error) {
+		start := time.Now()
+		res, err := fact.SolveCtx(ctx, ds, set, c)
+		return res, time.Since(start).Seconds(), err
+	}
+
+	out := &FaultBenchResult{Dataset: ds.Name, Areas: ds.N(), Components: ds.Components()}
+
+	// Leg 1: baseline, no deadline, no faults.
+	baseline, baseSec, err := solve(context.Background(), base)
+	if err != nil {
+		return nil, fmt.Errorf("faultbench: baseline solve: %w", err)
+	}
+	out.BaselineSeconds = baseSec
+	out.BaselineP = baseline.P
+	out.BaselineHetero = baseline.HeteroAfter
+	out.BaselineHeteroBefore = baseline.HeteroBefore
+
+	// Leg 2: the same solve under shrinking deadlines — full budget down to
+	// 1% of the baseline wall time. Tight budgets should degrade (valid
+	// partition, Degraded flag), only absurd ones may fail outright.
+	for _, frac := range []float64{1.0, 0.5, 0.1, 0.01} {
+		budget := time.Duration(frac * baseSec * float64(time.Second))
+		if budget < time.Millisecond {
+			budget = time.Millisecond
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		res, sec, err := solve(ctx, base)
+		cancel()
+		pt := FaultBenchPoint{TimeoutMillis: budget.Milliseconds(), Seconds: sec}
+		if err != nil {
+			pt.Failed = true
+		} else {
+			pt.P = res.P
+			pt.Hetero = res.HeteroAfter
+			pt.Degraded = res.Degraded
+			pt.Warnings = len(res.Warnings)
+		}
+		out.DeadlinePoints = append(out.DeadlinePoints, pt)
+	}
+
+	// Leg 3: shard 1 panics on every attempt; the solve must survive with
+	// that component's areas unassigned and the result marked degraded.
+	panics0, retries0 := panicsC.Value(), retriesC.Value()
+	fault.Enable(&fault.Plan{Seed: cfg.Seed, Rules: []fault.Rule{
+		{Site: "shard.solve#1", Kind: fault.KindPanic, Times: 1 << 30},
+	}})
+	panicRes, _, panicErr := solve(context.Background(), base)
+	fault.Enable(nil)
+	if panicErr == nil && panicRes.Partition != nil {
+		out.PanicSurvived = true
+		out.PanicDegraded = panicRes.Degraded
+		out.PanicP = panicRes.P
+		out.PanicUnassigned = panicRes.Unassigned
+		out.PanicWarnings = len(panicRes.Warnings)
+	}
+	out.PanicsRecovered = panicsC.Value() - panics0
+	out.PanicShardRetries = retriesC.Value() - retries0
+	out.PanicDegradedSolves = degradedC.Value()
+
+	// Leg 4: shard 0 fails transiently exactly once; the retry must absorb
+	// it and the final result must be a clean, non-degraded solve.
+	retries1 := retriesC.Value()
+	fault.Enable(&fault.Plan{Seed: cfg.Seed, Rules: []fault.Rule{
+		{Site: "shard.solve#0", Kind: fault.KindError, Times: 1},
+	}})
+	retryRes, _, retryErr := solve(context.Background(), base)
+	fault.Enable(nil)
+	if retryErr == nil && retryRes.Partition != nil {
+		out.RetrySucceeded = retryRes.P == baseline.P && retryRes.HeteroAfter == baseline.HeteroAfter
+		out.RetryDegraded = retryRes.Degraded
+	}
+	out.RetryShardRetries = retriesC.Value() - retries1
+
+	return out, nil
+}
+
+// WriteFaultBench runs FaultBench and writes the JSON artifact.
+func WriteFaultBench(cfg Config, path string) (*FaultBenchResult, error) {
+	res, err := FaultBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("faultbench: %w", err)
+	}
+	return res, nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"emp/internal/constraint"
 	"emp/internal/data"
+	"emp/internal/fault"
 	"emp/internal/graph"
 	"emp/internal/region"
 )
@@ -21,6 +22,10 @@ type builder struct {
 	cfg  *Config
 	rng  *rand.Rand
 	p    *region.Partition
+
+	// faultErr records an error injected at the sweep-boundary fault site;
+	// construct surfaces it after the fixpoint loops unwind.
+	faultErr error
 
 	// avgIdx is the constraint index of the primary AVG constraint that
 	// drives region growing, or -1 when the query has none (then every
@@ -60,6 +65,9 @@ func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, 
 	b.growRegions()        // Step 2 (Step 1's filtering/seeding is in feas)
 	b.adjustCounting()     // Step 3
 	b.dissolveInfeasible() // finalize: drop regions that could not be fixed
+	if b.faultErr != nil {
+		return nil, b.faultErr
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, canceled(err)
 	}
@@ -69,8 +77,18 @@ func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, 
 
 // stopped reports whether the construction's context has been cancelled; the
 // sweep loops poll it at iteration boundaries so a cancelled solve exits
-// within one sweep instead of running Steps 2-3 to their fixpoints.
+// within one sweep instead of running Steps 2-3 to their fixpoints. The same
+// boundary doubles as the construction fault-injection site: an injected
+// error (or deadline) stops the sweeps like a cancellation would, an injected
+// panic unwinds to the safeConstruct recover.
 func (b *builder) stopped() bool {
+	if b.faultErr != nil {
+		return true
+	}
+	if err := fault.Inject("fact.construct.sweep"); err != nil {
+		b.faultErr = err
+		return true
+	}
 	return b.ctx != nil && b.ctx.Err() != nil
 }
 

@@ -172,8 +172,14 @@ type Result struct {
 	Shards int
 	// Warnings lists solve-level findings beyond the feasibility report,
 	// e.g. components proven individually infeasible whose areas were left
-	// unassigned.
+	// unassigned, or phases cut short by a deadline.
 	Warnings []string
+	// Degraded marks a best-effort result: the solve hit its deadline after
+	// construction (the partition is the best incumbent found, all regions
+	// valid, but the search did not converge), or one or more shards were
+	// lost to panics or exhausted retries (their areas are unassigned). A
+	// degraded result always carries at least one Warnings entry saying why.
+	Degraded bool
 }
 
 // HeteroImprovement returns the relative improvement of the local search:
@@ -204,6 +210,16 @@ func canceled(err error) error {
 // and anneal.Config.Ctx), so a cancelled solve returns within one check
 // interval instead of running to completion. On cancellation the error wraps
 // ctx.Err() and the Result is nil; no partial partition escapes.
+//
+// Deadlines degrade instead of failing: when the context carries a deadline
+// that expires after construction produced an incumbent, SolveCtx returns
+// that incumbent (improved as far as the search got — both search algorithms
+// end at their best visited state) with Result.Degraded set and a warning,
+// not an error. A deadline that expires before any construction iteration
+// completes still fails, wrapping context.DeadlineExceeded: there is no
+// partition to degrade to. Explicit cancellation (context.Canceled) always
+// fails — a caller that walked away is not served a partial answer. The
+// per-phase budget split is described in docs/ROBUSTNESS.md.
 //
 // When the contiguity graph has more than one connected component the solve
 // is sharded by default: each component is an independent sub-instance
@@ -251,9 +267,21 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 
 	// Phase 2: construction, keeping the partition with the highest p
 	// (ties broken by lower heterogeneity, then by iteration index so
-	// parallel and sequential runs pick the same winner).
+	// parallel and sequential runs pick the same winner). The first
+	// iteration runs under the caller's full deadline (it produces the
+	// incumbent everything degrades to); re-roll iterations run under the
+	// construction budget slice so a deadline leaves room for the search.
 	consSpan := met.spanCons.Start()
 	candidates := make([]*region.Partition, cfg.Iterations)
+	panicMsgs := make([]string, cfg.Iterations)
+	consCtx, consCancel := constructionCtx(ctx)
+	defer consCancel()
+	iterCtx := func(it int) context.Context {
+		if it == 0 {
+			return ctx
+		}
+		return consCtx
+	}
 	workers := cfg.Parallelism
 	if workers < 1 {
 		workers = 1
@@ -262,17 +290,47 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 		workers = cfg.Iterations
 	}
 	var firstErr error
+	var deadlineHit bool // a (possibly injected) deadline stopped an iteration
+	// recordIter folds one iteration outcome into the shared state and
+	// reports whether construction should stop admitting iterations. The
+	// parallel path calls it under the mutex.
+	recordIter := func(it int, p *region.Partition, err error) (stop bool) {
+		switch {
+		case err == nil:
+			candidates[it] = p
+			return false
+		case errors.Is(err, errConstructPanic):
+			// One multi-start iteration died; the others still count.
+			panicMsgs[it] = fmt.Sprintf("construction iteration %d discarded: %v", it, err)
+			return false
+		case errors.Is(err, context.DeadlineExceeded):
+			if ctx.Err() == nil && consCtx != ctx && consCtx.Err() != nil {
+				// Only the construction budget slice expired: stop the
+				// re-rolls, the overall deadline still funds the search.
+				return true
+			}
+			deadlineHit = true
+			return true
+		case errors.Is(err, context.Canceled):
+			return true // the ctx.Err() check below settles the outcome
+		default:
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+	}
 	if workers == 1 {
 		for it := 0; it < cfg.Iterations; it++ {
-			if ctx.Err() != nil {
+			ic := iterCtx(it)
+			if ic.Err() != nil {
 				break
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
-			p, err := construct(ctx, ds, ev, feas, &cfg, rng)
-			if err != nil {
-				return nil, err
+			p, err := safeConstruct(ic, ds, ev, feas, &cfg, rng)
+			if recordIter(it, p, err) {
+				break
 			}
-			candidates[it] = p
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -283,7 +341,7 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 			// goroutines exist at a time, instead of creating all
 			// cfg.Iterations up front and parking them inside.
 			sem <- struct{}{}
-			if ctx.Err() != nil {
+			if iterCtx(it).Err() != nil {
 				<-sem
 				break // stop admitting work; running iterations drain below
 			}
@@ -292,22 +350,25 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 				defer wg.Done()
 				defer func() { <-sem }()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
-				p, err := construct(ctx, ds, ev, feas, &cfg, rng)
+				p, err := safeConstruct(iterCtx(it), ds, ev, feas, &cfg, rng)
 				mu.Lock()
 				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				candidates[it] = p
+				recordIter(it, p, err)
 			}(it)
 		}
 		wg.Wait()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, canceled(err)
-	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		// Explicit cancellation: the caller walked away, nothing is served.
+		return nil, canceled(err)
+	}
+	for _, msg := range panicMsgs {
+		if msg != "" {
+			res.Warnings = append(res.Warnings, msg)
+		}
 	}
 	var best *region.Partition
 	for _, p := range candidates {
@@ -321,12 +382,40 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 		}
 	}
 	res.ConstructionTime = consSpan.End()
+	if best == nil {
+		// Nothing constructed: a spent deadline (real or injected) before
+		// the first incumbent, or every iteration panicked.
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
+		if deadlineHit {
+			return nil, canceled(context.DeadlineExceeded)
+		}
+		return nil, fmt.Errorf("fact: construction produced no partition (every iteration failed): %s",
+			firstNonEmpty(panicMsgs))
+	}
 	res.Partition = best
 	res.HeteroBefore = best.Heterogeneity()
+	if consCtx != ctx && consCtx.Err() != nil && ctx.Err() == nil &&
+		!deadlineHit && res.Iterations < cfg.Iterations {
+		// The construction budget slice ran out with the overall deadline
+		// still alive: fewer re-rolls than asked for, best-of-what-ran.
+		res.Degraded = true
+		res.Warnings = append(res.Warnings, fmt.Sprintf(
+			"construction budget exhausted after %d of %d iterations; continuing with the best incumbent", res.Iterations, cfg.Iterations))
+	}
 
 	// Phase 3: local search (Tabu by default, simulated annealing as the
-	// alternative) on the configured objective.
-	if !cfg.SkipLocalSearch && best.NumRegions() > 1 {
+	// alternative) on the configured objective. A deadline spent during
+	// construction skips the search and serves the incumbent directly.
+	skipSearch := cfg.SkipLocalSearch || best.NumRegions() <= 1
+	if deadlineHit || ctx.Err() != nil {
+		skipSearch = true
+		res.Degraded = true
+		res.Warnings = append(res.Warnings,
+			"deadline exceeded during construction; returning the construction-phase incumbent without local search")
+	}
+	if !skipSearch {
 		searchSpan := met.spanSearch.Start()
 		switch cfg.LocalSearch {
 		case LocalSearchAnneal:
@@ -353,17 +442,55 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 		}
 		res.LocalSearchTime = searchSpan.End()
 		if err := ctx.Err(); err != nil {
-			// The search stopped early at a consistent state, but a
-			// cancelled solve must not be mistaken for a completed one.
-			return nil, canceled(err)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				// The search stopped early at a consistent state, but a
+				// cancelled solve must not be mistaken for a completed one.
+				return nil, canceled(err)
+			}
+			// Deadline mid-search: both algorithms end at the best state
+			// visited (revert-to-best epilogue), so the partition is valid
+			// and no worse than the construction incumbent.
+			res.Degraded = true
+			res.Warnings = append(res.Warnings,
+				"deadline exceeded during local search; returning the best partition found so far")
 		}
 	}
 	res.HeteroAfter = best.Heterogeneity()
 	res.P = best.NumRegions()
 	res.Unassigned = best.UnassignedCount()
 	if !asShard {
+		if res.Degraded {
+			met.degraded.Inc()
+		}
 		met.solves.Inc()
 		emitSolveEvent(res, cfg.LocalSearch.String())
 	}
 	return res, nil
+}
+
+// errConstructPanic marks a construction iteration that died to a recovered
+// panic; the multi-start loop discards the iteration instead of the solve.
+var errConstructPanic = errors.New("fact: construction iteration panicked")
+
+// safeConstruct runs one construction iteration under recover, converting a
+// panic (injected or organic) into an error wrapping errConstructPanic so a
+// single poisoned multi-start iteration cannot crash the process.
+func safeConstruct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand) (p *region.Partition, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			met.panicsRecovered.Inc()
+			p, err = nil, fmt.Errorf("%w: %v", errConstructPanic, v)
+		}
+	}()
+	return construct(ctx, ds, ev, feas, cfg, rng)
+}
+
+// firstNonEmpty returns the first non-empty string, for error detail.
+func firstNonEmpty(msgs []string) string {
+	for _, m := range msgs {
+		if m != "" {
+			return m
+		}
+	}
+	return "no detail"
 }

@@ -10,6 +10,9 @@ type pkgMetrics struct {
 	reg             *obs.Registry
 	solves          *obs.Counter
 	infeasible      *obs.Counter
+	degraded        *obs.Counter
+	shardRetries    *obs.Counter
+	panicsRecovered *obs.Counter
 	spanFeas        *obs.Timer
 	spanCons        *obs.Timer
 	spanSearch      *obs.Timer
@@ -35,6 +38,12 @@ func SetMetrics(r *obs.Registry) {
 			"Completed fact.Solve runs (including infeasible outcomes)."),
 		infeasible: r.Counter("emp_solve_infeasible_total",
 			"fact.Solve runs proven infeasible in phase 1."),
+		degraded: r.Counter("emp_solve_degraded_total",
+			"Solves that returned a degraded (best-so-far) partition instead of an error: deadline hit post-construction, or shards lost to panics/exhausted retries."),
+		shardRetries: r.Counter("emp_shard_retries_total",
+			"Shard sub-solve attempts beyond the first (transient failures retried with backoff)."),
+		panicsRecovered: r.Counter("emp_panics_recovered_total",
+			"Panics recovered at shard and multi-start isolation boundaries."),
 		spanFeas:   r.Timer(`emp_solve_phase_duration{phase="feasibility"}`, phaseHelp),
 		spanCons:   r.Timer(`emp_solve_phase_duration{phase="construction"}`, phaseHelp),
 		spanSearch: r.Timer(`emp_solve_phase_duration{phase="local_search"}`, phaseHelp),
@@ -61,6 +70,7 @@ func emitSolveEvent(res *Result, localSearch string) {
 		Name: "fact",
 		Fields: map[string]float64{
 			"p":              float64(res.P),
+			"degraded":       boolField(res.Degraded),
 			"unassigned":     float64(res.Unassigned),
 			"iterations":     float64(res.Iterations),
 			"hetero_before":  res.HeteroBefore,
@@ -74,4 +84,12 @@ func emitSolveEvent(res *Result, localSearch string) {
 		},
 		Labels: map[string]string{"local_search": localSearch},
 	})
+}
+
+// boolField folds a flag into the numeric event schema.
+func boolField(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

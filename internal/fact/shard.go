@@ -4,13 +4,38 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"emp/internal/constraint"
 	"emp/internal/data"
+	"emp/internal/fault"
 	"emp/internal/region"
 	"emp/internal/shard"
 	"emp/internal/solvecache"
 )
+
+// shardRetryPolicy is the backoff schedule for transient shard failures
+// (recovered panics, injected transient errors). Package-level so chaos tests
+// can shrink the waits; the jitter seed is derived per shard at call time so
+// schedules stay reproducible per configuration.
+var shardRetryPolicy = fault.RetryPolicy{Attempts: 3, Base: 25 * time.Millisecond, Max: 500 * time.Millisecond}
+
+// solveShardAttempt runs one attempt at a component sub-solve under recover:
+// a panic (injected or organic) becomes a Transient error so the caller's
+// retry loop treats it like any other transient failure instead of letting it
+// take down the process.
+func solveShardAttempt(ctx context.Context, idx int, ds *data.Dataset, ev *constraint.Evaluator, cfg Config) (r *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			met.panicsRecovered.Inc()
+			r, err = nil, fault.Transient(fmt.Errorf("fact: shard %d solve panicked: %v", idx, v))
+		}
+	}()
+	if err := fault.InjectIdx("shard.solve", idx); err != nil {
+		return nil, err
+	}
+	return solveWhole(ctx, ds, ev, cfg, true)
+}
 
 // shardSeed derives the sub-solve seed for shard i from the global seed with
 // a splitmix64-style mixer. The construction phase already consumes seed,
@@ -64,6 +89,7 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 		pool = solvecache.NewPool(cfg.ShardWorkers)
 	}
 	subs := make([]*Result, len(plan.Shards))
+	failMsgs := make([]string, len(plan.Shards))
 	runErr := shard.Run(ctx, len(plan.Shards), pool, func(i int) error {
 		sub := cfg
 		sub.ShardPool = nil
@@ -75,35 +101,89 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 		}
 		// Sub-solves go straight to solveWhole (a shard is one component;
 		// no recursion) with asShard set: the shard counters below account
-		// for them, the merged result emits the one solve event.
-		span := met.spanShardSolve.Start()
-		r, err := solveWhole(ctx, plan.Shards[i].Dataset, subEv, sub, true)
-		span.End()
-		met.shardSolves.Inc()
-		if errors.Is(err, ErrInfeasible) {
-			// Component-level infeasibility is not fatal: the areas stay
-			// unassigned, like any area no feasible region covers.
-			met.shardInfeasible.Inc()
+		// for them, the merged result emits the one solve event. Each shard
+		// retries transient failures (recovered panics, injected transients)
+		// with capped, jittered backoff before giving up on the component.
+		policy := shardRetryPolicy
+		policy.Seed = shardSeed(cfg.Seed, i)
+		attempt := 0
+		err = fault.Retry(ctx, policy, func() error {
+			if attempt++; attempt > 1 {
+				met.shardRetries.Inc()
+			}
+			span := met.spanShardSolve.Start()
+			r, err := solveShardAttempt(ctx, i, plan.Shards[i].Dataset, subEv, sub)
+			span.End()
+			met.shardSolves.Inc()
+			if errors.Is(err, ErrInfeasible) {
+				// Component-level infeasibility is not fatal: the areas stay
+				// unassigned, like any area no feasible region covers.
+				met.shardInfeasible.Inc()
+				subs[i] = r
+				return nil
+			}
+			if err != nil {
+				return err
+			}
 			subs[i] = r
 			return nil
+		})
+		if err == nil {
+			return nil
 		}
-		if err != nil {
-			return err
+		if errors.Is(err, context.Canceled) {
+			return err // explicit cancellation fails the whole solve
 		}
-		subs[i] = r
+		// Exhausted retries, a permanent fault, or a deadline that expired
+		// before this component produced an incumbent: the component is
+		// lost, not the solve. Its areas stay unassigned and the merged
+		// result degrades.
+		failMsgs[i] = fmt.Sprintf("component %d (%d areas) dropped after %d attempt(s): %v; its areas are left unassigned",
+			i, plan.Shards[i].Dataset.N(), attempt, err)
 		return nil
 	})
-	if runErr != nil {
-		if err := ctx.Err(); err != nil {
+	if runErr != nil && !errors.Is(runErr, context.DeadlineExceeded) {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return nil, canceled(err)
 		}
 		return nil, runErr
+	}
+	if err := ctx.Err(); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return nil, canceled(err)
+		}
+		// The deadline expired mid-run. Serve whatever components finished;
+		// with none there is nothing to degrade to.
+		contributed := false
+		for _, r := range subs {
+			if r != nil && r.Partition != nil {
+				contributed = true
+				break
+			}
+		}
+		if !contributed {
+			return nil, canceled(err)
+		}
+		for i := range subs {
+			if subs[i] == nil && failMsgs[i] == "" {
+				failMsgs[i] = fmt.Sprintf("component %d (%d areas) dropped: deadline exceeded before its sub-solve finished; its areas are left unassigned",
+					i, plan.Shards[i].Dataset.N())
+			}
+		}
 	}
 
 	// Merge in component order (deterministic: the plan depends only on the
 	// adjacency, each sub-result only on its shard and seed).
 	perShard := make([][][]int, len(plan.Shards))
 	for i, r := range subs {
+		if failMsgs[i] != "" {
+			// The component was dropped (exhausted retries, permanent fault
+			// or deadline), not proven infeasible: the merged result is
+			// best-effort.
+			res.Warnings = append(res.Warnings, failMsgs[i])
+			res.Degraded = true
+			continue
+		}
 		if r == nil || r.Partition == nil {
 			n := plan.Shards[i].Dataset.N()
 			msg := fmt.Sprintf("component %d (%d areas) is infeasible; its areas are left unassigned", i, n)
@@ -112,6 +192,9 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 			}
 			res.Warnings = append(res.Warnings, msg)
 			continue
+		}
+		if r.Degraded {
+			res.Degraded = true
 		}
 		for _, id := range r.Partition.RegionIDs() {
 			perShard[i] = append(perShard[i], r.Partition.Region(id).Members)
@@ -137,6 +220,9 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 	res.P = merged.NumRegions()
 	res.Unassigned = merged.UnassignedCount()
 	shardSpan.End()
+	if res.Degraded {
+		met.degraded.Inc()
+	}
 	met.solves.Inc()
 	emitSolveEvent(res, cfg.LocalSearch.String())
 	return res, nil

@@ -1,0 +1,256 @@
+// Package fault is the solver's fault-injection registry: named injection
+// sites compiled into dataset generation, construction sweeps, local-search
+// epochs and shard solves, armed at runtime by a Plan of deterministic,
+// seedable rules. Each armed rule can return a transient error, panic, sleep,
+// or simulate a context deadline at its site; with no plan armed every site
+// is a single atomic load, so the hooks stay wired into production builds.
+//
+// Determinism: rules fire by per-site hit counters (After/Times windows) or
+// by a seeded per-hit coin (Prob), both pure functions of the plan — the same
+// plan against the same single-threaded execution injects at the same points.
+// Concurrent sites (e.g. shard solves) are made deterministic by indexing:
+// InjectIdx appends "#<idx>" to the site name so a rule can pin one shard
+// regardless of goroutine interleaving.
+//
+// The package also owns the retry policy shared by the recovery layers:
+// Retry runs an operation with capped exponential backoff and seeded jitter,
+// retrying only errors marked Transient. See docs/ROBUSTNESS.md.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed rule does when it fires.
+type Kind int
+
+const (
+	// KindError makes Inject return a transient error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindPanic makes Inject panic with a PanicValue.
+	KindPanic
+	// KindDelay makes Inject sleep for Rule.Delay and return nil.
+	KindDelay
+	// KindCancel makes Inject return an error wrapping
+	// context.DeadlineExceeded, simulating a budget expiring at the site.
+	KindCancel
+)
+
+// String names the kind for test output and warnings.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the base of every injected error; chaos tests assert on it
+// with errors.Is to tell injected failures from organic ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// PanicValue is what KindPanic rules panic with, so recovery sites can log
+// the origin and tests can tell an injected panic from a real one.
+type PanicValue struct {
+	Site string
+}
+
+func (v PanicValue) String() string { return "fault: injected panic at " + v.Site }
+
+// Rule arms one injection site. The zero value fires KindError on the
+// site's first hit, once.
+type Rule struct {
+	// Site is the exact site name ("shard.solve", "tabu.epoch", ...) or an
+	// indexed one ("shard.solve#1"). See the sites listed in
+	// docs/ROBUSTNESS.md.
+	Site string
+	// Kind selects the failure mode.
+	Kind Kind
+	// After skips the site's first After hits before the rule may fire.
+	After int
+	// Times bounds how often the rule fires; 0 means once.
+	Times int
+	// Prob, when in (0,1), gates each in-window hit on a coin drawn
+	// deterministically from (Plan.Seed, Site, hit number). 0 or >= 1 fires
+	// on every in-window hit.
+	Prob float64
+	// Delay is the KindDelay sleep; 0 means 1ms.
+	Delay time.Duration
+	// Err overrides the KindError payload; it is wrapped as transient. Nil
+	// uses ErrInjected.
+	Err error
+}
+
+// Plan is a set of rules armed together plus the seed driving probabilistic
+// firing decisions.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// armedRule carries one rule's runtime counters. Hits are counted atomically
+// so concurrent sites stay race-free; the fire window is decided from the hit
+// number alone, so no lock is needed.
+type armedRule struct {
+	Rule
+	hits atomic.Int64
+}
+
+// state is the immutable armed plan; swapping the pointer re-arms atomically.
+type state struct {
+	seed  int64
+	rules map[string][]*armedRule
+}
+
+var (
+	active  atomic.Bool
+	current atomic.Pointer[state]
+)
+
+// Enable arms the plan process-wide; nil (or an empty plan) disarms every
+// site. Arming is meant for chaos tests and benchmarks — enable, run, then
+// Enable(nil) — not for toggling mid-solve.
+func Enable(p *Plan) {
+	if p == nil || len(p.Rules) == 0 {
+		active.Store(false)
+		current.Store(nil)
+		return
+	}
+	st := &state{seed: p.Seed, rules: make(map[string][]*armedRule, len(p.Rules))}
+	for _, r := range p.Rules {
+		st.rules[r.Site] = append(st.rules[r.Site], &armedRule{Rule: r})
+	}
+	current.Store(st)
+	active.Store(true)
+}
+
+// Enabled reports whether a plan is armed. Sites use it to skip building
+// dynamic site names; everything else should just call Inject.
+func Enabled() bool { return active.Load() }
+
+// Inject runs the armed rules of the site, if any. It returns nil (possibly
+// after sleeping) unless an error or cancel rule fires; panic rules do not
+// return. With no plan armed the cost is one atomic load.
+func Inject(site string) error {
+	if !active.Load() {
+		return nil
+	}
+	return inject(site)
+}
+
+// InjectIdx is Inject for indexed sites such as per-shard solves: rules
+// naming the bare site match every index, rules naming "site#idx" match one.
+// The formatted name is only built while a plan is armed.
+func InjectIdx(site string, idx int) error {
+	if !active.Load() {
+		return nil
+	}
+	if err := inject(site); err != nil {
+		return err
+	}
+	return inject(site + "#" + strconv.Itoa(idx))
+}
+
+func inject(site string) error {
+	st := current.Load()
+	if st == nil {
+		return nil
+	}
+	rules := st.rules[site]
+	for _, r := range rules {
+		if err := r.hit(st.seed, site); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hit counts one site hit against the rule and applies its effect when the
+// hit is inside the (After, After+Times] window and the seeded coin agrees.
+func (r *armedRule) hit(seed int64, site string) error {
+	n := r.hits.Add(1)
+	times := int64(r.Times)
+	if times <= 0 {
+		times = 1
+	}
+	if n <= int64(r.After) || n > int64(r.After)+times {
+		return nil
+	}
+	if r.Prob > 0 && r.Prob < 1 && coin(seed, site, n) >= r.Prob {
+		return nil
+	}
+	switch r.Kind {
+	case KindPanic:
+		panic(PanicValue{Site: site})
+	case KindDelay:
+		d := r.Delay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		sleep(d)
+		return nil
+	case KindCancel:
+		return fmt.Errorf("fault: injected deadline at %s: %w", site, context.DeadlineExceeded)
+	default: // KindError
+		err := r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return Transient(fmt.Errorf("fault: injected at %s: %w", site, err))
+	}
+}
+
+// sleep is swapped out by tests that assert on backoff schedules without
+// paying wall time.
+var sleep = time.Sleep
+
+// coin draws the deterministic per-hit uniform in [0,1) from the plan seed,
+// the site name and the hit number via a splitmix64-style mixer.
+func coin(seed int64, site string, hit int64) float64 {
+	z := uint64(seed) ^ uint64(hit)*0x9E3779B97F4A7C15
+	for i := 0; i < len(site); i++ {
+		z = (z ^ uint64(site[i])) * 0x100000001B3
+	}
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// transientError marks an error as safe to retry.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks an error as transient: Retry will re-attempt the operation
+// and IsTransient reports true. Marking nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether the error (or anything it wraps) was marked
+// Transient. Context errors are never transient: retrying a cancelled or
+// deadline-exceeded operation cannot succeed within the same context.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t *transientError
+	return errors.As(err, &t)
+}

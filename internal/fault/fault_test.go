@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// arm installs a plan for the test and disarms on cleanup, so no injection
+// leaks into other tests of the package.
+func arm(t *testing.T, p *Plan) {
+	t.Helper()
+	Enable(p)
+	t.Cleanup(func() { Enable(nil) })
+}
+
+func TestDisabledIsNil(t *testing.T) {
+	Enable(nil)
+	if Enabled() {
+		t.Fatal("Enabled() = true with no plan")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disabled Inject = %v, want nil", err)
+	}
+	if err := InjectIdx("anything", 3); err != nil {
+		t.Fatalf("disabled InjectIdx = %v, want nil", err)
+	}
+}
+
+func TestErrorRuleWindow(t *testing.T) {
+	arm(t, &Plan{Rules: []Rule{{Site: "s", Kind: KindError, After: 2, Times: 2}}})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Inject("s") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (window After=2 Times=2)", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestErrorIsTransientAndInjected(t *testing.T) {
+	arm(t, &Plan{Rules: []Rule{{Site: "s", Kind: KindError}}})
+	err := Inject("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("injected error must be transient")
+	}
+}
+
+func TestCancelRuleWrapsDeadline(t *testing.T) {
+	arm(t, &Plan{Rules: []Rule{{Site: "s", Kind: KindCancel}}})
+	err := Inject("s")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("injected deadline must not be transient")
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	arm(t, &Plan{Rules: []Rule{{Site: "s", Kind: KindPanic}}})
+	defer func() {
+		v := recover()
+		pv, ok := v.(PanicValue)
+		if !ok || pv.Site != "s" {
+			t.Fatalf("recovered %v, want PanicValue{Site: s}", v)
+		}
+	}()
+	_ = Inject("s")
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	var slept time.Duration
+	orig := sleep
+	sleep = func(d time.Duration) { slept += d }
+	defer func() { sleep = orig }()
+	arm(t, &Plan{Rules: []Rule{{Site: "s", Kind: KindDelay, Delay: 7 * time.Millisecond, Times: 3}}})
+	for i := 0; i < 5; i++ {
+		if err := Inject("s"); err != nil {
+			t.Fatalf("delay rule returned %v", err)
+		}
+	}
+	if want := 21 * time.Millisecond; slept != want {
+		t.Fatalf("slept %v, want %v (3 firings x 7ms)", slept, want)
+	}
+}
+
+func TestIndexedSiteMatching(t *testing.T) {
+	arm(t, &Plan{Rules: []Rule{{Site: "shard.solve#1", Kind: KindError, Times: 100}}})
+	if err := InjectIdx("shard.solve", 0); err != nil {
+		t.Fatalf("index 0 fired: %v", err)
+	}
+	if err := InjectIdx("shard.solve", 1); err == nil {
+		t.Fatal("index 1 did not fire")
+	}
+	// A bare-site rule matches every index.
+	arm(t, &Plan{Rules: []Rule{{Site: "shard.solve", Kind: KindError, Times: 100}}})
+	if err := InjectIdx("shard.solve", 7); err == nil {
+		t.Fatal("bare rule did not match indexed hit")
+	}
+}
+
+// TestProbDeterministicPerSeed pins the seeded-coin contract: the same plan
+// replayed over the same hit sequence fires at exactly the same hits, and a
+// different seed gives a different (but still deterministic) pattern.
+func TestProbDeterministicPerSeed(t *testing.T) {
+	fire := func(seed int64) []bool {
+		arm(t, &Plan{Seed: seed, Rules: []Rule{{Site: "s", Kind: KindError, Prob: 0.5, Times: 1 << 30}}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("s") != nil
+		}
+		return out
+	}
+	a, b := fire(42), fire(42)
+	diff := fire(43)
+	same, differs := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != diff[i] {
+			differs = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different firing patterns")
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical firing patterns (coin ignores seed?)")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; coin looks degenerate", fired, len(a))
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil is not transient")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) must be nil")
+	}
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Fatal("unmarked error is not transient")
+	}
+	if !IsTransient(Transient(base)) {
+		t.Fatal("marked error must be transient")
+	}
+	if !errors.Is(Transient(base), base) {
+		t.Fatal("Transient must wrap the original error")
+	}
+	if IsTransient(Transient(context.Canceled)) {
+		t.Fatal("context errors are never transient, even when marked")
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 4, Base: time.Microsecond, Max: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil after 3 calls", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("hard")
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5, Base: time.Microsecond}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the permanent error after 1 call", err, calls)
+	}
+}
+
+func TestRetryExhaustionKeepsTransientMark(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 3, Base: time.Microsecond, Max: time.Microsecond}, func() error {
+		calls++
+		return Transient(errors.New("always"))
+	})
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted error lost its transient mark: %v", err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryPolicy{Attempts: 10, Base: time.Hour}, func() error {
+		calls++
+		cancel() // fail once, then the backoff wait must abort
+		return Transient(errors.New("flaky"))
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (context cancelled during backoff)", calls)
+	}
+	if err == nil {
+		t.Fatal("cancelled retry must return an error")
+	}
+}
+
+// TestBackoffCapAndJitter pins the schedule shape: doubling from Base, capped
+// at Max before jitter, jitter within [0.5, 1.5), deterministic per seed.
+func TestBackoffCapAndJitter(t *testing.T) {
+	p := RetryPolicy{Attempts: 8, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Seed: 7}
+	raw := []time.Duration{10, 20, 40, 80, 80, 80} // ms, pre-jitter
+	for i, want := range raw {
+		got := p.Backoff(i)
+		lo, hi := time.Duration(float64(want)*0.5)*time.Millisecond, time.Duration(float64(want)*1.5)*time.Millisecond
+		if got < lo || got >= hi {
+			t.Fatalf("Backoff(%d) = %v, want in [%v, %v)", i, got, lo, hi)
+		}
+		if got != p.Backoff(i) {
+			t.Fatalf("Backoff(%d) is not deterministic", i)
+		}
+	}
+	if p.Backoff(0) == (RetryPolicy{Attempts: 8, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Seed: 8}).Backoff(0) {
+		t.Fatal("jitter ignores the seed")
+	}
+}

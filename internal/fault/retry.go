@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy tunes Retry. The zero value means 3 attempts, 25ms base
+// backoff capped at 500ms, jitter stream seeded with 0.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first; 0 means 3.
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles per retry.
+	// 0 means 25ms.
+	Base time.Duration
+	// Max caps the (pre-jitter) backoff; 0 means 500ms.
+	Max time.Duration
+	// Seed drives the jitter deterministically; callers derive it from the
+	// solve seed so retry schedules are reproducible per configuration.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the sleep before attempt number attempt+2 (i.e. after the
+// (attempt+1)-th failure, 0-based): Base doubled per prior retry, capped at
+// Max, then scaled into [0.5, 1.5) by the seeded jitter so synchronized
+// failures do not retry in lockstep.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Base
+	for i := 0; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	jitter := 0.5 + coin(p.Seed, "retry", int64(attempt)+1)
+	return time.Duration(float64(d) * jitter)
+}
+
+// Retry runs fn until it returns nil, returns an error that is not marked
+// Transient, the attempts are exhausted, or the context ends. Between
+// attempts it sleeps per Backoff, aborting the sleep when the context ends.
+// It returns fn's last error; an exhausted transient error keeps its
+// Transient mark so callers can tell "gave up retrying" from a hard failure.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			if !sleepCtx(ctx, p.Backoff(attempt-1)) {
+				return ctx.Err()
+			}
+		}
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// sleepCtx waits for d unless the context ends first, reporting whether the
+// full wait elapsed. It is a package hook so backoff tests can record the
+// schedule instead of paying wall time.
+var sleepCtx = func(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -78,7 +78,7 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 func routeLabel(path string) string {
 	path = strings.TrimPrefix(path, "/v1")
 	switch path {
-	case "/solve", "/datasets", "/healthz", "/metrics":
+	case "/solve", "/datasets", "/healthz", "/readyz", "/metrics":
 		return path
 	default:
 		return "other"

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"emp/internal/census"
@@ -54,6 +55,11 @@ type Config struct {
 	// QueueWait bounds how long a queued solve may wait for a worker before
 	// the service sheds it with 429; 0 means DefaultQueueWait.
 	QueueWait time.Duration
+	// MaxSolveTimeout caps how long any one solve may run. A request's
+	// timeout_ms is clamped to it, and requests that do not ask for a
+	// timeout run under it as the default deadline. 0 means
+	// DefaultMaxSolveTimeout.
+	MaxSolveTimeout time.Duration
 }
 
 // DefaultMaxBodyBytes is the POST /solve body limit when Config.MaxBodyBytes
@@ -69,14 +75,24 @@ const (
 	DefaultResultCacheBytes = 64 << 20
 	// DefaultQueueWait bounds queue time before shedding with 429.
 	DefaultQueueWait = 10 * time.Second
+	// DefaultMaxSolveTimeout is the per-solve deadline ceiling: generous
+	// enough for a cold 50k-area sharded solve, small enough that a wedged
+	// solve cannot hold a worker slot forever.
+	DefaultMaxSolveTimeout = 5 * time.Minute
 )
 
 // service carries the handler state.
 type service struct {
-	reg       *obs.Registry
-	accessLog io.Writer
-	maxBody   int64
-	inflight  *obs.Gauge
+	reg        *obs.Registry
+	accessLog  io.Writer
+	maxBody    int64
+	maxTimeout time.Duration
+	inflight   *obs.Gauge
+
+	// draining flips the readiness probe to 503 the moment shutdown begins,
+	// so load balancers stop routing new work while in-flight requests (and
+	// the liveness probe) keep succeeding.
+	draining atomic.Bool
 
 	// Serving-performance subsystem: artifact and result caches, the solve
 	// dedup group, the dataset-generation dedup group and the bounded
@@ -102,6 +118,12 @@ type SolveRequest struct {
 	Scale float64 `json:"scale,omitempty"`
 	// Constraints is the SQL-ish constraint list, semicolon separated.
 	Constraints string `json:"constraints"`
+	// TimeoutMillis bounds the solve's wall time in milliseconds. It is
+	// clamped to the server's MaxSolveTimeout; 0 means "the server max". A
+	// solve that hits the deadline after construction returns a degraded
+	// (best-so-far) response instead of an error; one that cannot even
+	// construct an incumbent in time fails with 504.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 	// Options tunes the solver.
 	Options SolveOptions `json:"options"`
 }
@@ -122,20 +144,25 @@ type SolverStats struct {
 
 // SolveResponse is the POST /solve result.
 type SolveResponse struct {
-	RequestID          string      `json:"request_id,omitempty"`
-	P                  int         `json:"p"`
-	Unassigned         int         `json:"unassigned"`
-	HeteroBefore       float64     `json:"hetero_before"`
-	HeteroAfter        float64     `json:"hetero_after"`
-	HeteroImprovement  float64     `json:"hetero_improvement"`
-	Assignment         []int       `json:"assignment"`
-	ConstructionMillis float64     `json:"construction_ms"`
-	LocalSearchMillis  float64     `json:"local_search_ms"`
-	TabuMoves          int         `json:"tabu_moves"`
-	InvalidAreas       int         `json:"invalid_areas"`
-	SeedAreas          int         `json:"seed_areas"`
-	Warnings           []string    `json:"warnings,omitempty"`
-	Solver             SolverStats `json:"solver_stats"`
+	RequestID          string   `json:"request_id,omitempty"`
+	P                  int      `json:"p"`
+	Unassigned         int      `json:"unassigned"`
+	HeteroBefore       float64  `json:"hetero_before"`
+	HeteroAfter        float64  `json:"hetero_after"`
+	HeteroImprovement  float64  `json:"hetero_improvement"`
+	Assignment         []int    `json:"assignment"`
+	ConstructionMillis float64  `json:"construction_ms"`
+	LocalSearchMillis  float64  `json:"local_search_ms"`
+	TabuMoves          int      `json:"tabu_moves"`
+	InvalidAreas       int      `json:"invalid_areas"`
+	SeedAreas          int      `json:"seed_areas"`
+	Warnings           []string `json:"warnings,omitempty"`
+	// Degraded marks a best-effort answer: the solve hit its deadline after
+	// construction or lost shards to faults; Warnings says why. Absent
+	// (false) on fully converged solves, so pre-existing responses are
+	// byte-identical.
+	Degraded bool        `json:"degraded,omitempty"`
+	Solver   SolverStats `json:"solver_stats"`
 }
 
 // errorEnvelope is the single JSON error shape of the API: every error
@@ -168,6 +195,10 @@ func errorCode(status int) string {
 		return "infeasible"
 	case http.StatusTooManyRequests:
 		return "overloaded"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
 	case statusClientClosed:
 		return "client_closed"
 	case http.StatusNotFound:
@@ -180,9 +211,32 @@ func errorCode(status int) string {
 	}
 }
 
+// Service is a constructed server: the HTTP handler plus the runtime
+// controls the serving binary drives around it (readiness draining).
+type Service struct {
+	s       *service
+	handler http.Handler
+}
+
+// Handler returns the service's HTTP handler.
+func (sv *Service) Handler() http.Handler { return sv.handler }
+
+// SetDraining flips the /readyz readiness probe: draining instances answer
+// 503 so load balancers stop routing new work, while /healthz liveness and
+// in-flight requests keep succeeding. Call with true when shutdown begins,
+// before http.Server.Shutdown.
+func (sv *Service) SetDraining(d bool) { sv.s.draining.Store(d) }
+
+// Draining reports whether the service is refusing readiness.
+func (sv *Service) Draining() bool { return sv.s.draining.Load() }
+
 // NewHandler builds the service's HTTP handler: the API routes wrapped in
-// request-id, access-log and metrics middleware.
-func NewHandler(cfg Config) http.Handler {
+// request-id, access-log and metrics middleware. Callers that need the
+// runtime controls (readiness draining during shutdown) use New instead.
+func NewHandler(cfg Config) http.Handler { return New(cfg).Handler() }
+
+// New builds the service: the handler plus its runtime controls.
+func New(cfg Config) *Service {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -200,15 +254,20 @@ func NewHandler(cfg Config) http.Handler {
 	if resBytes == 0 {
 		resBytes = DefaultResultCacheBytes
 	}
+	maxTimeout := cfg.MaxSolveTimeout
+	if maxTimeout <= 0 {
+		maxTimeout = DefaultMaxSolveTimeout
+	}
 	s := &service{
-		reg:       reg,
-		accessLog: cfg.AccessLog,
-		maxBody:   maxBody,
-		inflight:  reg.Gauge("emp_http_in_flight", "HTTP requests currently being served."),
-		dsCache:   solvecache.NewLRU(dsBytes),
-		resCache:  solvecache.NewLRU(resBytes),
-		dedups:    reg.Counter("emp_solve_dedup_total", "Requests that joined an identical in-flight solve instead of running their own."),
-		cancels:   reg.Counter("emp_solve_canceled_total", "Solve executions abandoned because every interested client disconnected."),
+		reg:        reg,
+		accessLog:  cfg.AccessLog,
+		maxBody:    maxBody,
+		maxTimeout: maxTimeout,
+		inflight:   reg.Gauge("emp_http_in_flight", "HTTP requests currently being served."),
+		dsCache:    solvecache.NewLRU(dsBytes),
+		resCache:   solvecache.NewLRU(resBytes),
+		dedups:     reg.Counter("emp_solve_dedup_total", "Requests that joined an identical in-flight solve instead of running their own."),
+		cancels:    reg.Counter("emp_solve_canceled_total", "Solve executions abandoned because every interested client disconnected."),
 	}
 	s.dsCache.SetMetrics(solvecache.CacheMetrics{
 		Hits:      reg.Counter("emp_dataset_cache_hits_total", "Dataset artifact cache hits."),
@@ -236,20 +295,39 @@ func NewHandler(cfg Config) http.Handler {
 	// label is shared (routeLabel strips the version prefix).
 	for _, prefix := range []string{"", "/v1"} {
 		mux.HandleFunc(prefix+"/healthz", s.handleHealth)
+		mux.HandleFunc(prefix+"/readyz", s.handleReady)
 		mux.HandleFunc(prefix+"/datasets", s.handleDatasets)
 		mux.HandleFunc(prefix+"/solve", s.handleSolve)
 		mux.Handle(prefix+"/metrics", reg.MetricsHandler())
 	}
 	// Request-id first so the instrument layer (access log) sees the id.
-	return withRequestID(s.instrument(mux))
+	return &Service{s: s, handler: withRequestID(s.instrument(mux))}
 }
 
 // Handler returns the service's HTTP handler with default settings (the
 // process-wide registry, no access log, the default body limit).
 func Handler() http.Handler { return NewHandler(Config{}) }
 
+// handleHealth is the liveness probe: 200 as long as the process can serve
+// HTTP at all, including while draining — a draining instance is alive, it
+// is just not ready (see handleReady). Restart decisions key off this.
 func (s *service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 503 while the service is draining for
+// shutdown or the solve queue is saturated, 200 otherwise. Routing decisions
+// key off this — a 503 here takes the instance out of rotation without
+// killing it.
+func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.sched.Saturated():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *service) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -307,6 +385,18 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("scale must be in (0,1) exclusive, got %g; omit it (or send 0) for the full dataset", req.Scale), nil)
 		return
 	}
+	if req.TimeoutMillis < 0 {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Sprintf("timeout_ms must be non-negative, got %d", req.TimeoutMillis), nil)
+		return
+	}
+	// Clamp before fingerprinting: the effective deadline shapes the result
+	// (a degraded answer under a tight budget must not be served to a
+	// request that asked for the full budget), and singleflight followers
+	// share the leader's deadline — so the fingerprint carries the clamped
+	// value, and requests asking for "the max" in different spellings
+	// (0, the max, anything above it) share one cache entry.
+	req.TimeoutMillis = clampTimeoutMillis(req.TimeoutMillis, s.maxTimeout)
 	req.Options.Seed = normalizeSeed(req.Options.Seed)
 	set, err := constraint.ParseSet(req.Constraints)
 	if err != nil {
@@ -370,6 +460,14 @@ func buildResponse(res *fact.Result) SolveResponse {
 			assign[a] = idx[id]
 		}
 	}
+	// Feasibility warnings and solve-level warnings (degraded phases,
+	// dropped components) both reach the client. Previously only the
+	// feasibility ones did; the merged slice stays nil when both are empty
+	// so omitempty keeps warning-free responses byte-identical.
+	warnings := res.Feasibility.Warnings
+	if len(res.Warnings) > 0 {
+		warnings = append(append([]string(nil), warnings...), res.Warnings...)
+	}
 	return SolveResponse{
 		P:                  res.P,
 		Unassigned:         res.Unassigned,
@@ -382,7 +480,8 @@ func buildResponse(res *fact.Result) SolveResponse {
 		TabuMoves:          res.TabuMoves,
 		InvalidAreas:       res.Feasibility.InvalidCount,
 		SeedAreas:          res.Feasibility.SeedCount,
-		Warnings:           res.Feasibility.Warnings,
+		Warnings:           warnings,
+		Degraded:           res.Degraded,
 		Solver: SolverStats{
 			FeasibilityMillis:  float64(res.FeasibilityTime.Microseconds()) / 1000,
 			Iterations:         res.Iterations,

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"emp/internal/census"
 	"emp/internal/constraint"
 	"emp/internal/data"
 	"emp/internal/fact"
+	"emp/internal/fault"
 	"emp/internal/solvecache"
 )
 
@@ -33,6 +35,18 @@ type solveOutcome struct {
 	// retryAfter marks overload outcomes that should carry a Retry-After
 	// header (429).
 	retryAfter bool
+}
+
+// clampTimeoutMillis folds a request's timeout_ms onto the effective solve
+// deadline: 0 (unset) and anything at or above the server max both mean the
+// server max, so all spellings of "as long as you allow" share one
+// fingerprint. Negative values are rejected before this runs.
+func clampTimeoutMillis(ms int64, max time.Duration) int64 {
+	maxMs := max.Milliseconds()
+	if ms <= 0 || ms > maxMs {
+		return maxMs
+	}
+	return ms
 }
 
 // normalizeSeed maps the "unset" seed 0 to the canonical seed 1 exactly
@@ -59,11 +73,14 @@ func canonicalLocalSearch(ls string) string {
 
 // solveFingerprint computes the canonical cache/dedup key of a solve
 // request: the normalized dataset source, the parsed-and-reprinted
-// constraint set (so whitespace and formatting variants share an entry), and
+// constraint set (so whitespace and formatting variants share an entry),
 // every solver option that can influence the result (the option subset is
 // owned by SolveOptions.fingerprintParts, next to the wire struct, so new
-// knobs cannot miss the fingerprint). The caller must have normalized
-// Options.Seed already.
+// knobs cannot miss the fingerprint), and the clamped timeout_ms — the
+// deadline shapes the result (degraded vs converged), and singleflight
+// followers share the leader's deadline, so requests with different budgets
+// must not collapse into one flight. The caller must have normalized
+// Options.Seed and TimeoutMillis already.
 func solveFingerprint(req *SolveRequest, set constraint.Set) string {
 	opt := &req.Options
 	var src [3]string
@@ -74,7 +91,8 @@ func solveFingerprint(req *SolveRequest, set constraint.Set) string {
 	} else {
 		src = [3]string{"inline", string(req.Dataset), ""}
 	}
-	parts := append([]string{src[0], src[1], src[2], set.String()}, opt.fingerprintParts()...)
+	parts := append([]string{src[0], src[1], src[2], set.String(),
+		strconv.FormatInt(req.TimeoutMillis, 10)}, opt.fingerprintParts()...)
 	return solvecache.Key(parts...)
 }
 
@@ -131,15 +149,18 @@ func (s *service) datasetFor(ctx context.Context, req *SolveRequest) (*data.Data
 		// Generation is pure CPU without cancellation support, and its
 		// output is cacheable — run it to completion even when the
 		// requesting clients leave; the next request hits the cache.
-		var (
-			ds  *data.Dataset
-			err error
-		)
-		if req.Scale > 0 {
-			ds, err = census.Scaled(req.Named, req.Scale, seed)
-		} else {
-			ds, err = census.NamedSeeded(req.Named, seed)
-		}
+		// Transient generation failures (the census.generate fault site)
+		// are retried with backoff before the flight reports an error.
+		var ds *data.Dataset
+		err := fault.Retry(ctx, fault.RetryPolicy{Seed: seed}, func() error {
+			var err error
+			if req.Scale > 0 {
+				ds, err = census.Scaled(req.Named, req.Scale, seed)
+			} else {
+				ds, err = census.NamedSeeded(req.Named, seed)
+			}
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +196,12 @@ func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constrain
 	if err != nil {
 		return &solveOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
 	}
-	res, err := fact.SolveCtx(ctx, ds, set, cfg)
+	// The deadline starts after the queue wait and dataset resolution: it
+	// budgets the solve itself. TimeoutMillis is always positive here (the
+	// handler clamps 0 to the server max).
+	solveCtx, cancel := context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+	defer cancel()
+	res, err := fact.SolveCtx(solveCtx, ds, set, cfg)
 	if err != nil {
 		switch {
 		case errors.Is(err, fact.ErrInfeasible):
@@ -184,6 +210,11 @@ func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constrain
 		case ctx.Err() != nil:
 			s.cancels.Inc() // every client left mid-solve
 			return &solveOutcome{status: statusClientClosed, errMsg: "solve canceled: client closed request"}
+		case errors.Is(err, context.DeadlineExceeded):
+			// The budget expired before construction produced anything to
+			// degrade to; deadlines hit later return a degraded 200 instead.
+			return &solveOutcome{status: http.StatusGatewayTimeout,
+				errMsg: fmt.Sprintf("solve exceeded its %dms budget before producing a partition", req.TimeoutMillis)}
 		default:
 			return &solveOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
 		}

@@ -70,6 +70,17 @@ func NewScheduler(workers, depth int, wait time.Duration, met SchedulerMetrics) 
 // Workers returns the worker-pool size.
 func (s *Scheduler) Workers() int { return cap(s.slots) }
 
+// Saturated reports whether a new solve would be rejected (queue at its depth
+// bound, or no queue and every worker busy). The readiness probe uses it to
+// take the instance out of rotation before the scheduler starts shedding
+// with 429.
+func (s *Scheduler) Saturated() bool {
+	if int(s.waiting.Load()) >= s.depth {
+		return len(s.slots) == cap(s.slots)
+	}
+	return false
+}
+
 // RetryAfterSeconds is the Retry-After hint for rejected callers: the queue
 // wait budget rounded up to a whole second, i.e. the horizon after which a
 // retry sees a meaningfully different queue.

@@ -1,0 +1,70 @@
+package solvecache
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSchedulerSaturated pins the readiness signal: Saturated flips true only
+// when a new solve would actually be rejected — every worker busy AND the
+// queue at its depth bound — and clears as soon as either frees up.
+func TestSchedulerSaturated(t *testing.T) {
+	s := NewScheduler(1, 1, time.Minute, SchedulerMetrics{})
+	if s.Saturated() {
+		t.Fatal("idle scheduler reports saturated")
+	}
+	release, err := s.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker busy but the queue is empty: a new solve would queue, not shed.
+	if s.Saturated() {
+		t.Fatal("busy pool with an empty queue reports saturated")
+	}
+	ctxQ, cancelQ := context.WithCancel(context.Background())
+	defer cancelQ()
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctxQ)
+		queued <- err
+	}()
+	for i := 0; s.waiting.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Saturated() {
+		t.Fatal("full pool + full queue must report saturated")
+	}
+	// Freeing the worker admits the queued caller; the queue drains and the
+	// instance is ready again.
+	release()
+	for i := 0; s.waiting.Load() != 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Saturated() {
+		t.Error("scheduler still saturated after the queue drained")
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued caller err = %v", err)
+	}
+}
+
+// TestSchedulerSaturatedNoQueue: with queueing disabled (depth < 0) a busy
+// pool is immediately saturated — there is nowhere for a new solve to wait.
+func TestSchedulerSaturatedNoQueue(t *testing.T) {
+	s := NewScheduler(1, -1, time.Minute, SchedulerMetrics{})
+	if s.Saturated() {
+		t.Fatal("idle scheduler reports saturated")
+	}
+	release, err := s.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Saturated() {
+		t.Error("busy queueless pool must report saturated")
+	}
+	release()
+	if s.Saturated() {
+		t.Error("scheduler still saturated after release")
+	}
+}

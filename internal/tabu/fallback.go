@@ -3,6 +3,7 @@ package tabu
 import (
 	"math"
 
+	"emp/internal/fault"
 	"emp/internal/region"
 )
 
@@ -45,6 +46,9 @@ func improveFallback(p *region.Partition, cfg Config) Stats {
 	for iter := 1; noImprove < cfg.MaxNoImprove; iter++ {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			break // cancelled: fall through to the revert-to-best epilogue
+		}
+		if fault.Inject("tabu.epoch") != nil {
+			break // injected stop: same path as a cancellation
 		}
 		key, ok := s.pickMove(iter, best)
 		if !ok {

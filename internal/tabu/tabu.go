@@ -15,6 +15,7 @@ import (
 	"context"
 	"math"
 
+	"emp/internal/fault"
 	"emp/internal/region"
 )
 
@@ -155,6 +156,9 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	for iter := 1; noImprove < cfg.MaxNoImprove; iter++ {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			break // cancelled: fall through to the revert-to-best epilogue
+		}
+		if fault.Inject("tabu.epoch") != nil {
+			break // injected stop: same path as a cancellation
 		}
 		it, ok := s.pickMove(iter, best)
 		if !ok {
