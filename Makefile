@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-fault
+.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-fault bench-prep
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,11 @@ bench:
 
 # bench-smoke runs the telemetry-overhead benchmark once: a fast CI-grade
 # check that the tabu hot path still builds and runs in all three telemetry
-# states (absent / disabled / enabled). Overhead numbers need bench-obs.
+# states (absent / disabled / enabled). -benchmem keeps the per-run
+# allocation profile visible so regressions show up in the CI log. Overhead
+# numbers need bench-obs.
 bench-smoke:
-	$(GO) test -run xxx -bench BenchmarkTabuTelemetry -benchtime 1x ./internal/tabu/
+	$(GO) test -run xxx -bench BenchmarkTabuTelemetry -benchtime 1x -benchmem ./internal/tabu/
 
 # bench-tabu regenerates BENCH_tabu.json (local-search before/after).
 bench-tabu:
@@ -74,3 +76,10 @@ bench-shard:
 # default scale keeps it CI-grade; see docs/ROBUSTNESS.md for the legs.
 bench-fault:
 	$(GO) run ./cmd/empbench -benchfault
+
+# bench-prep regenerates BENCH_prep.json (prepared-dataset artifact: solve
+# latency prepared vs unprepared, cold-request throughput, result identity,
+# allocations per tabu move). The default scale keeps it CI-grade; see
+# docs/PERFORMANCE.md for what the legs mean.
+bench-prep:
+	$(GO) run ./cmd/empbench -benchprep

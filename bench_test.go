@@ -153,8 +153,18 @@ func BenchmarkAblationTabu(b *testing.B) {
 // BenchmarkAblationContiguity compares rook vs queen adjacency.
 func BenchmarkAblationContiguity(b *testing.B) {
 	ds := benchDataset(b)
-	queen := *ds
-	queen.Adjacency = geom.Adjacency(ds.Polygons, geom.Queen)
+	// Rebuild rather than copy *ds: Dataset memoizes its contiguity graph
+	// behind an atomic pointer, so value copies are copylocks violations and
+	// would share the rook graph.
+	queen := Dataset{
+		Name:               ds.Name + "-queen",
+		Polygons:           ds.Polygons,
+		Adjacency:          geom.Adjacency(ds.Polygons, geom.Queen),
+		AttrNames:          ds.AttrNames,
+		Cols:               ds.Cols,
+		Dissimilarity:      ds.Dissimilarity,
+		DissimilarityAttrs: ds.DissimilarityAttrs,
+	}
 	for _, v := range []struct {
 		name string
 		ds   *Dataset

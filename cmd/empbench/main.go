@@ -42,6 +42,7 @@ func main() {
 		benchServe = flag.Bool("benchserve", false, "run the serving throughput benchmark and write BENCH_serve.json")
 		benchShard = flag.Bool("benchshard", false, "run the component-sharding benchmark and write BENCH_shard.json")
 		benchFault = flag.Bool("benchfault", false, "run the fault-injection/degradation benchmark and write BENCH_fault.json")
+		benchPrep  = flag.Bool("benchprep", false, "run the prepared-dataset artifact benchmark and write BENCH_prep.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
@@ -111,6 +112,18 @@ func main() {
 			len(res.DeadlinePoints), res.PanicSurvived, res.PanicP, res.PanicUnassigned, res.PanicsRecovered,
 			res.RetrySucceeded, res.RetryShardRetries)
 		fmt.Println("wrote BENCH_fault.json")
+		return
+	}
+	if *benchPrep {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WritePrepBench(cfg, "BENCH_prep.json")
+		if err != nil {
+			log.Fatalf("benchprep: %v", err)
+		}
+		fmt.Printf("prep on %s (%d areas): solve %.3fs -> %.3fs (%.2fx, build %.3fs), cold %.1f -> %.1f solves/s, identical=%v, %.1f allocs/move\n",
+			res.Dataset, res.Areas, res.UnpreparedSeconds, res.PreparedSeconds, res.SolveSpeedup,
+			res.ArtifactBuildSecond, res.ColdSolvesPerSec, res.PreparedSolvesPerSec, res.Identical, res.AllocsPerMove)
+		fmt.Println("wrote BENCH_prep.json")
 		return
 	}
 	if *benchTabu {

@@ -206,7 +206,7 @@ func randomTarget(p *region.Partition, rng *rand.Rand, area int) (int, bool) {
 	var targets []int
 	seen := map[int]bool{own: true}
 	for _, nb := range p.Graph().Neighbors(area) {
-		id := p.Assignment(nb)
+		id := p.Assignment(int(nb))
 		if id != region.Unassigned && !seen[id] {
 			seen[id] = true
 			targets = append(targets, id)

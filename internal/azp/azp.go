@@ -171,7 +171,7 @@ func randomContiguousPartition(ds *data.Dataset, ev *constraint.Evaluator, k int
 			var targets []int
 			seen := map[int]bool{}
 			for _, nb := range g.Neighbors(a) {
-				id := p.Assignment(nb)
+				id := p.Assignment(int(nb))
 				if id != region.Unassigned && !seen[id] {
 					seen[id] = true
 					targets = append(targets, id)

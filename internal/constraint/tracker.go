@@ -167,6 +167,19 @@ func (t *Tracker) recomputeMax(i int, members []int) {
 	t.max[i], t.maxCnt[i] = mx, cnt
 }
 
+// Reset returns the tracker to its freshly-created empty state, keeping the
+// evaluator binding and slice capacity. It lets region objects be recycled
+// without reallocating their aggregate arrays.
+func (t *Tracker) Reset() {
+	t.n = 0
+	for i := range t.sum {
+		t.sum[i] = 0
+		t.min[i] = math.Inf(1)
+		t.max[i] = math.Inf(-1)
+		t.minCnt[i], t.maxCnt[i] = 0, 0
+	}
+}
+
 // Merge folds another tracker's state into t. The other tracker's region
 // must be disjoint from t's.
 func (t *Tracker) Merge(o *Tracker) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"emp/internal/geom"
 	"emp/internal/graph"
@@ -43,6 +44,11 @@ type Dataset struct {
 	// paper's single-attribute H is the special case of one attribute
 	// (which is used unscaled for exact comparability).
 	DissimilarityAttrs []string
+
+	// gmemo caches the contiguity graph built from Adjacency; see Graph.
+	// The atomic pointer makes Dataset non-copyable by value (go vet
+	// copylocks) — treat *Dataset as the unit of sharing.
+	gmemo atomic.Pointer[graph.Graph]
 }
 
 // New creates an empty dataset with n areas and no attributes.
@@ -146,8 +152,25 @@ func (d *Dataset) DissimilarityMatrix() ([][]float64, error) {
 	return out, nil
 }
 
-// Graph wraps the adjacency lists as a contiguity graph.
-func (d *Dataset) Graph() *graph.Graph { return graph.FromAdjacency(d.Adjacency) }
+// Graph wraps the adjacency lists as a contiguity graph. The graph (with
+// its CSR arena) is built on first call and memoized, so repeated callers —
+// partition construction, per-solve validation, shard planning — share one
+// immutable structure instead of re-densifying the adjacency lists each
+// time. Safe for concurrent use.
+//
+// The memo snapshots Adjacency at first call: datasets are treated as
+// immutable once handed to solvers. Mutate Adjacency only before the first
+// Graph call (as construction-time builders do).
+func (d *Dataset) Graph() *graph.Graph {
+	if g := d.gmemo.Load(); g != nil {
+		return g
+	}
+	g := graph.FromAdjacency(d.Adjacency)
+	if !d.gmemo.CompareAndSwap(nil, g) {
+		return d.gmemo.Load()
+	}
+	return g
+}
 
 // Components returns the number of connected components of the contiguity
 // graph. EMP (unlike MP-regions) supports multi-component datasets.

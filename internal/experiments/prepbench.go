@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/fact"
+	"emp/internal/maxp"
+	"emp/internal/prep"
+	"emp/internal/tabu"
+)
+
+// PrepBenchResult is the JSON artifact written by `empbench -benchprep`: the
+// prepared-dataset artifact's effect on solve latency and cold-request
+// throughput, plus the steady-state allocation rate of the Tabu move loop.
+type PrepBenchResult struct {
+	Dataset     string  `json:"dataset"`
+	Areas       int     `json:"areas"`
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Iterations  int     `json:"iterations"`
+	Fingerprint string  `json:"fingerprint"`
+
+	// One multi-start solve, unprepared (per-iteration rebuild of the
+	// dissimilarity matrix, rank kernel and graph) vs prepared (shared
+	// artifact). prep_seconds excludes the one-time artifact build, recorded
+	// separately — the steady-state regime of a server or sweep.
+	UnpreparedSeconds   float64 `json:"unprepared_seconds"`
+	PreparedSeconds     float64 `json:"prepared_seconds"`
+	ArtifactBuildSecond float64 `json:"artifact_build_seconds"`
+	SolveSpeedup        float64 `json:"solve_speedup"`
+
+	// Back-to-back single-iteration solves: unprepared models cold requests
+	// (every request rebuilds the derived state), prepared models a server
+	// hitting its artifact cache.
+	ColdSolvesPerSec     float64 `json:"cold_solves_per_sec"`
+	PreparedSolvesPerSec float64 `json:"prepared_solves_per_sec"`
+	ThroughputSpeedup    float64 `json:"throughput_speedup"`
+
+	// Results are bit-identical with and without the artifact.
+	Identical bool `json:"identical"`
+
+	// Steady-state Tabu move loop allocation rate (heap objects and bytes
+	// per accepted move), measured over one full Improve run.
+	TabuMoves     int     `json:"tabu_moves"`
+	AllocsPerMove float64 `json:"allocs_per_move"`
+	BytesPerMove  float64 `json:"bytes_per_move"`
+}
+
+// PrepBench measures the prepared-dataset artifact on the census 8k dataset
+// (scaled by cfg.Scale): multi-start solve latency, cold-vs-prepared
+// throughput, result identity, and the Tabu move loop's allocation rate.
+func PrepBench(cfg Config) (*PrepBenchResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "8k")
+	if err != nil {
+		return nil, err
+	}
+	set, err := constraint.ParseSet("SUM(TOTALPOP) >= 25000")
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	const multiStarts = 4
+
+	buildStart := time.Now()
+	art, err := prep.New(ds)
+	if err != nil {
+		return nil, err
+	}
+	buildSec := time.Since(buildStart).Seconds()
+
+	solve := func(prepared bool, iterations int) (*fact.Result, float64, error) {
+		c := fact.Config{Seed: cfg.Seed, Iterations: iterations}
+		if prepared {
+			c.Prepared = art
+		}
+		start := time.Now()
+		res, err := fact.SolveCtx(ctx, ds, set, c)
+		return res, time.Since(start).Seconds(), err
+	}
+
+	resCold, coldSec, err := solve(false, multiStarts)
+	if err != nil {
+		return nil, err
+	}
+	resPrep, prepSec, err := solve(true, multiStarts)
+	if err != nil {
+		return nil, err
+	}
+	identical := resCold.P == resPrep.P && resCold.HeteroAfter == resPrep.HeteroAfter
+	if identical {
+		for a := 0; a < ds.N(); a++ {
+			if resCold.Partition.Assignment(a) != resPrep.Partition.Assignment(a) {
+				identical = false
+				break
+			}
+		}
+	}
+
+	// Cold-request throughput: back-to-back single-iteration solves. One
+	// untimed warm-up per leg keeps one-time lazy work (the artifact's
+	// memoized shard plan) and GC state out of the timed window.
+	throughput := func(prepared bool) (float64, error) {
+		const rounds = 5
+		if _, _, err := solve(prepared, 1); err != nil {
+			return 0, err
+		}
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, _, err := solve(prepared, 1); err != nil {
+				return 0, err
+			}
+		}
+		return rounds / time.Since(start).Seconds(), nil
+	}
+	coldPerSec, err := throughput(false)
+	if err != nil {
+		return nil, err
+	}
+	prepPerSec, err := throughput(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steady-state allocation rate of the Tabu move loop, on a max-p start
+	// partition (a few dozen regions, like the acceptance benchmark).
+	var total float64
+	for _, v := range ds.Column(census.AttrTotalPop) {
+		total += v
+	}
+	mres, err := maxp.Solve(ds, census.AttrTotalPop, total/40, maxp.Config{Seed: cfg.Seed, SkipLocalSearch: true})
+	if err != nil {
+		return nil, err
+	}
+	p := mres.Partition.Clone()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	st := tabu.Improve(p, tabu.Config{Tenure: 10, MaxNoImprove: 30})
+	runtime.ReadMemStats(&after)
+
+	out := &PrepBenchResult{
+		Dataset:              "8k",
+		Areas:                ds.N(),
+		Scale:                cfg.Scale,
+		Seed:                 cfg.Seed,
+		Iterations:           multiStarts,
+		Fingerprint:          art.Fingerprint(),
+		UnpreparedSeconds:    coldSec,
+		PreparedSeconds:      prepSec,
+		ArtifactBuildSecond:  buildSec,
+		ColdSolvesPerSec:     coldPerSec,
+		PreparedSolvesPerSec: prepPerSec,
+		Identical:            identical,
+		TabuMoves:            st.Moves,
+	}
+	if prepSec > 0 {
+		out.SolveSpeedup = coldSec / prepSec
+	}
+	if coldPerSec > 0 {
+		out.ThroughputSpeedup = prepPerSec / coldPerSec
+	}
+	if st.Moves > 0 {
+		out.AllocsPerMove = float64(after.Mallocs-before.Mallocs) / float64(st.Moves)
+		out.BytesPerMove = float64(after.TotalAlloc-before.TotalAlloc) / float64(st.Moves)
+	}
+	return out, nil
+}
+
+// WritePrepBench runs PrepBench and writes the JSON artifact.
+func WritePrepBench(cfg Config, path string) (*PrepBenchResult, error) {
+	res, err := PrepBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("prepbench: %w", err)
+	}
+	return res, nil
+}

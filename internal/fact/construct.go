@@ -38,9 +38,16 @@ type builder struct {
 // cancelled construction abandons the partial partition and returns the
 // context error.
 func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand) (*region.Partition, error) {
-	p, err := region.NewPartition(ds, ev)
-	if err != nil {
-		return nil, err
+	var p *region.Partition
+	if art := cfg.preparedFor(ds); art != nil {
+		// Prepared dataset: reuse the shared dissimilarity matrix, rank
+		// kernel and scratch pools instead of rebuilding them per iteration.
+		p = region.NewPartitionShared(art.Shared(), ev)
+	} else {
+		var err error
+		if p, err = region.NewPartition(ds, ev); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.KernelOff {
 		p.SetHeteroKernel(false)
@@ -222,7 +229,8 @@ func (b *builder) mergeAreasAlgorithm1(areas []int) {
 func (b *builder) addOppositeNeighbor(r *region.Region, avg float64, c constraint.Constraint) bool {
 	best, bestDist := -1, math.Inf(1)
 	for _, m := range r.Members {
-		for _, nb := range b.g.Neighbors(m) {
+		for _, nb32 := range b.g.Neighbors(m) {
+			nb := int(nb32)
 			if b.p.Assignment(nb) != region.Unassigned || b.feas.Invalid[nb] {
 				continue
 			}
@@ -291,7 +299,7 @@ func (b *builder) tryAttach(a int) bool {
 	bestAvgDist := math.Inf(1)
 	seen := make(map[int]bool, 4)
 	for _, nb := range b.g.Neighbors(a) {
-		id := b.p.Assignment(nb)
+		id := b.p.Assignment(int(nb))
 		if id == region.Unassigned || seen[id] {
 			continue
 		}
@@ -358,7 +366,7 @@ func (b *builder) tryMergeAbsorb(a int) bool {
 	trials := 0
 	seen := make(map[int]bool, 4)
 	for _, nb := range b.g.Neighbors(a) {
-		id := b.p.Assignment(nb)
+		id := b.p.Assignment(int(nb))
 		if id == region.Unassigned || seen[id] {
 			continue
 		}

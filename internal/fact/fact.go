@@ -11,6 +11,7 @@ import (
 	"emp/internal/anneal"
 	"emp/internal/constraint"
 	"emp/internal/data"
+	"emp/internal/prep"
 	"emp/internal/region"
 	"emp/internal/solvecache"
 	"emp/internal/tabu"
@@ -99,6 +100,14 @@ type Config struct {
 	// instead of a private pool. Servers share one pool across concurrent
 	// requests so the aggregate shard fan-out respects one global budget.
 	ShardPool *solvecache.Pool
+	// Prepared, when non-nil and built from the same dataset the solve runs
+	// on, supplies the prepared-dataset artifact: the dissimilarity matrix,
+	// heterogeneity rank kernel, CSR graph and scratch pools are reused
+	// across every construction iteration and shard sub-solve instead of
+	// rebuilt per partition. Results are identical with or without it (a
+	// differential test pins this); an artifact prepared from a different
+	// dataset is ignored. See internal/prep.
+	Prepared *prep.Artifact
 }
 
 // LocalSearch selects the phase-3 improvement algorithm.
@@ -121,6 +130,16 @@ func (l LocalSearch) String() string {
 	default:
 		return fmt.Sprintf("LocalSearch(%d)", int(l))
 	}
+}
+
+// preparedFor returns the configured prepared artifact when it was built
+// from exactly this dataset (pointer identity — the artifact's structures
+// index by the dataset's area ids), nil otherwise.
+func (c *Config) preparedFor(ds *data.Dataset) *prep.Artifact {
+	if c.Prepared != nil && c.Prepared.Dataset() == ds {
+		return c.Prepared
+	}
+	return nil
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -382,6 +401,14 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 		}
 	}
 	res.ConstructionTime = consSpan.End()
+	// Multi-start losers return their pooled state (Fenwick trees, graph
+	// scratch) to the shared artifact before being dropped; a no-op for
+	// partitions built without one.
+	for _, p := range candidates {
+		if p != nil && p != best {
+			p.Recycle()
+		}
+	}
 	if best == nil {
 		// Nothing constructed: a spent deadline (real or injected) before
 		// the first incumbent, or every iteration panicked.

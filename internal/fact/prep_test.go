@@ -1,0 +1,121 @@
+package fact
+
+import (
+	"fmt"
+	"testing"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/prep"
+)
+
+// preparedSet builds a constraint set proportional to the dataset's total
+// population, so every scaled dataset lands at a non-trivial p.
+func preparedSet(t *testing.T, dsTotal float64) constraint.Set {
+	t.Helper()
+	set, err := constraint.ParseSet(fmt.Sprintf("SUM(TOTALPOP) >= %d", int(dsTotal/25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestSolvePreparedDifferential pins the prep.Artifact result-neutrality
+// contract on every census dataset: a solve with Config.Prepared set
+// produces a bit-identical result — same p, same H(P), same assignment of
+// every area — to the unprepared solve, on both the whole-dataset path
+// (ShardOff) and the component-sharded path. Datasets are scaled down so
+// the sweep (which also runs under -race in CI) stays fast; the larger
+// names keep multiple components, so the sharded path is genuinely
+// exercised with prepared sub-artifacts.
+func TestSolvePreparedDifferential(t *testing.T) {
+	names := census.SizeNames()
+	if testing.Short() {
+		names = []string{"2k", "10k"}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			ds, err := census.Scaled(name, 0.06, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total float64
+			for _, v := range ds.Column(census.AttrTotalPop) {
+				total += v
+			}
+			set := preparedSet(t, total)
+			art, err := prep.New(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []struct {
+				name     string
+				shardOff bool
+			}{{"sharded", false}, {"whole", true}} {
+				t.Run(mode.name, func(t *testing.T) {
+					cfg := Config{Seed: 3, Iterations: 2, ShardOff: mode.shardOff}
+					plain, err := Solve(ds, set, cfg)
+					if err != nil {
+						t.Fatalf("unprepared solve: %v", err)
+					}
+					cfg.Prepared = art
+					prepped, err := Solve(ds, set, cfg)
+					if err != nil {
+						t.Fatalf("prepared solve: %v", err)
+					}
+					if plain.P != prepped.P {
+						t.Fatalf("p diverged: unprepared %d, prepared %d", plain.P, prepped.P)
+					}
+					if plain.HeteroAfter != prepped.HeteroAfter {
+						t.Fatalf("H(P) diverged: unprepared %v, prepared %v", plain.HeteroAfter, prepped.HeteroAfter)
+					}
+					for a := 0; a < ds.N(); a++ {
+						if plain.Partition.Assignment(a) != prepped.Partition.Assignment(a) {
+							t.Fatalf("assignment diverged at area %d: unprepared %d, prepared %d",
+								a, plain.Partition.Assignment(a), prepped.Partition.Assignment(a))
+						}
+					}
+					if plain.TabuMoves != prepped.TabuMoves {
+						t.Errorf("move count diverged: unprepared %d, prepared %d", plain.TabuMoves, prepped.TabuMoves)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSolvePreparedMismatchedArtifactIgnored pins the safety valve: an
+// artifact prepared from a different dataset is ignored (the solve rebuilds
+// its own state) rather than applied, and the result still matches the
+// unprepared solve.
+func TestSolvePreparedMismatchedArtifactIgnored(t *testing.T) {
+	ds, err := census.Scaled("2k", 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := census.Scaled("1k", 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range ds.Column(census.AttrTotalPop) {
+		total += v
+	}
+	set := preparedSet(t, total)
+	art, err := prep.New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Solve(ds, set, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := Solve(ds, set, Config{Seed: 5, Prepared: art})
+	if err != nil {
+		t.Fatalf("solve with mismatched artifact: %v", err)
+	}
+	if plain.P != mismatched.P || plain.HeteroAfter != mismatched.HeteroAfter {
+		t.Fatalf("mismatched artifact changed the result: p %d vs %d, H %v vs %v",
+			plain.P, mismatched.P, plain.HeteroAfter, mismatched.HeteroAfter)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"emp/internal/constraint"
 	"emp/internal/data"
 	"emp/internal/fault"
+	"emp/internal/prep"
 	"emp/internal/region"
 	"emp/internal/shard"
 	"emp/internal/solvecache"
@@ -78,7 +79,17 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 	}
 
 	shardSpan := met.spanShard.Start()
-	plan, err := shard.NewPlan(ds)
+	// A prepared artifact carries the component plan and one prepared
+	// sub-artifact per component, so sub-solves run fully prepared and
+	// repeated solves on the same dataset share one decomposition.
+	art := cfg.preparedFor(ds)
+	var plan *shard.Plan
+	var subArts []*prep.Artifact
+	if art != nil {
+		plan, subArts, err = art.Plan()
+	} else {
+		plan, err = shard.NewPlan(ds)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +106,12 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 		sub.ShardPool = nil
 		sub.ShardWorkers = 0
 		sub.Seed = shardSeed(cfg.Seed, i)
+		// The parent artifact indexes by global area ids; hand each shard
+		// its own sub-artifact (or nothing).
+		sub.Prepared = nil
+		if subArts != nil {
+			sub.Prepared = subArts[i]
+		}
 		subEv, err := constraint.NewEvaluator(set, plan.Shards[i].Dataset.Column)
 		if err != nil {
 			return err
@@ -208,7 +225,12 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 		res.Search.Add(r.Search)
 		res.Warnings = append(res.Warnings, r.Warnings...)
 	}
-	merged, err := region.PartitionFromRegions(ds, ev, plan.MergeRegions(perShard))
+	var merged *region.Partition
+	if art != nil {
+		merged, err = region.PartitionFromRegionsShared(art.Shared(), ev, plan.MergeRegions(perShard))
+	} else {
+		merged, err = region.PartitionFromRegions(ds, ev, plan.MergeRegions(perShard))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fact: merging shard partitions: %w", err)
 	}

@@ -9,86 +9,169 @@ package graph
 
 import "fmt"
 
-// Graph is an undirected graph over vertices 0..N-1 stored as adjacency
-// lists. The zero value is an empty graph.
+// Graph is an undirected graph over vertices 0..N-1 stored in CSR
+// (compressed sparse row) layout: one flat int32 neighbor arena plus per
+// vertex offsets. Neighbor lists of all vertices are contiguous in memory,
+// so the traversal-heavy hot paths (BFS connectivity, articulation passes,
+// candidate enumeration in the Tabu search) walk a single cache-friendly
+// array instead of chasing one heap object per vertex. The zero value is an
+// empty graph.
+//
+// Edge insertion is supported for builders (MST trees, tests): AddEdge
+// switches the graph into a jagged builder representation and the CSR form
+// is re-frozen lazily on the next read. Frozen neighbor order always equals
+// insertion order, so conversions never perturb traversal order (several
+// consumers rely on deterministic neighbor iteration).
 type Graph struct {
-	adj [][]int
+	n int
+	// off/arena are the CSR form: the neighbors of u are
+	// arena[off[u]:off[u+1]], in insertion order. Valid when dirty is false.
+	off   []int32
+	arena []int32
+	// badj holds per-vertex builder lists while dirty; nil otherwise.
+	badj  [][]int32
+	dirty bool
 }
 
 // New creates a graph with n vertices and no edges.
 func New(n int) *Graph {
-	return &Graph{adj: make([][]int, n)}
+	return &Graph{n: n, off: make([]int32, n+1)}
 }
 
-// FromAdjacency wraps existing adjacency lists. The lists are used as-is
-// (not copied); they must be symmetric and free of self-loops, which
-// Validate can check.
+// FromAdjacency builds the CSR form from adjacency lists, preserving the
+// per-vertex neighbor order. The lists must be symmetric and free of
+// self-loops, which Validate can check; they are read once and not retained.
 func FromAdjacency(adj [][]int) *Graph {
-	return &Graph{adj: adj}
+	n := len(adj)
+	g := &Graph{n: n, off: make([]int32, n+1)}
+	total := 0
+	for u, nbs := range adj {
+		total += len(nbs)
+		g.off[u+1] = int32(total)
+	}
+	g.arena = make([]int32, total)
+	i := 0
+	for _, nbs := range adj {
+		for _, v := range nbs {
+			g.arena[i] = int32(v)
+			i++
+		}
+	}
+	return g
+}
+
+// thaw switches to the jagged builder representation for edge insertion.
+func (g *Graph) thaw() {
+	if g.dirty {
+		return
+	}
+	g.badj = make([][]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		nbs := g.arena[g.off[u]:g.off[u+1]]
+		g.badj[u] = append(make([]int32, 0, len(nbs)+1), nbs...)
+	}
+	g.dirty = true
+}
+
+// freeze rebuilds the CSR form from the builder lists.
+func (g *Graph) freeze() {
+	total := 0
+	for u, nbs := range g.badj {
+		total += len(nbs)
+		g.off[u+1] = int32(total)
+	}
+	if cap(g.arena) < total {
+		g.arena = make([]int32, total)
+	}
+	g.arena = g.arena[:total]
+	i := 0
+	for _, nbs := range g.badj {
+		i += copy(g.arena[i:], nbs)
+	}
+	g.badj = nil
+	g.dirty = false
+}
+
+// ensure re-freezes the CSR form after edge insertions; a no-op on the hot
+// path (one predictable branch).
+func (g *Graph) ensure() {
+	if g.dirty {
+		g.freeze()
+	}
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // AddEdge inserts the undirected edge (u, v). Duplicate edges and
 // self-loops are ignored.
 func (g *Graph) AddEdge(u, v int) {
-	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
 		return
 	}
 	if g.HasEdge(u, v) {
 		return
 	}
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
+	g.thaw()
+	g.badj[u] = append(g.badj[u], int32(v))
+	g.badj[v] = append(g.badj[v], int32(u))
 }
 
 // HasEdge reports whether (u, v) is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u < 0 || u >= len(g.adj) {
+	if u < 0 || u >= g.n {
 		return false
 	}
-	for _, w := range g.adj[u] {
-		if w == v {
+	for _, w := range g.Neighbors(u) {
+		if int(w) == v {
 			return true
 		}
 	}
 	return false
 }
 
-// Neighbors returns the adjacency list of u. The caller must not modify it.
-func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+// Neighbors returns the neighbor list of u as a subslice of the CSR arena.
+// The caller must not modify it, and must not retain it across AddEdge.
+func (g *Graph) Neighbors(u int) []int32 {
+	if g.dirty {
+		g.freeze()
+	}
+	return g.arena[g.off[u]:g.off[u+1]]
+}
 
 // Degree returns the number of neighbors of u.
-func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+func (g *Graph) Degree(u int) int {
+	if g.dirty {
+		return len(g.badj[u])
+	}
+	return int(g.off[u+1] - g.off[u])
+}
 
 // NumEdges returns the number of undirected edges.
 func (g *Graph) NumEdges() int {
-	total := 0
-	for _, nb := range g.adj {
-		total += len(nb)
-	}
-	return total / 2
+	g.ensure()
+	return len(g.arena) / 2
 }
 
 // Validate checks that adjacency lists are symmetric, in range, and free of
 // self-loops and duplicates.
 func (g *Graph) Validate() error {
-	n := len(g.adj)
-	for u, nbs := range g.adj {
-		seen := make(map[int]bool, len(nbs))
+	g.ensure()
+	for u := 0; u < g.n; u++ {
+		nbs := g.Neighbors(u)
+		seen := make(map[int32]bool, len(nbs))
 		for _, v := range nbs {
-			if v < 0 || v >= n {
+			if v < 0 || int(v) >= g.n {
 				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", u, v)
 			}
-			if v == u {
+			if int(v) == u {
 				return fmt.Errorf("graph: vertex %d has a self-loop", u)
 			}
 			if seen[v] {
 				return fmt.Errorf("graph: vertex %d lists neighbor %d twice", u, v)
 			}
 			seen[v] = true
-			if !g.HasEdge(v, u) {
+			if !g.HasEdge(int(v), u) {
 				return fmt.Errorf("graph: edge %d->%d is not symmetric", u, v)
 			}
 		}
@@ -100,7 +183,8 @@ func (g *Graph) Validate() error {
 // plus the number of components. Component ids are dense, assigned in
 // order of lowest-numbered member vertex.
 func (g *Graph) Components() (comp []int, count int) {
-	n := len(g.adj)
+	g.ensure()
+	n := g.n
 	comp = make([]int, n)
 	for i := range comp {
 		comp[i] = -1
@@ -115,10 +199,10 @@ func (g *Graph) Components() (comp []int, count int) {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, v := range g.adj[u] {
+			for _, v := range g.arena[g.off[u]:g.off[u+1]] {
 				if comp[v] < 0 {
 					comp[v] = count
-					queue = append(queue, v)
+					queue = append(queue, int(v))
 				}
 			}
 		}
@@ -195,16 +279,17 @@ func (g *Graph) ConnectedSubsetExcluding(members []int, removed int) bool {
 // connectedWithin runs a BFS from start restricted to the `in` set and
 // reports whether all `want` vertices are reached.
 func (g *Graph) connectedWithin(start int, in map[int]bool, want int) bool {
+	g.ensure()
 	visited := make(map[int]bool, want)
 	visited[start] = true
 	queue := []int{start}
 	for len(queue) > 0 {
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, v := range g.adj[u] {
-			if in[v] && !visited[v] {
-				visited[v] = true
-				queue = append(queue, v)
+		for _, v := range g.arena[g.off[u]:g.off[u+1]] {
+			if in[int(v)] && !visited[int(v)] {
+				visited[int(v)] = true
+				queue = append(queue, int(v))
 			}
 		}
 	}
@@ -215,7 +300,8 @@ func (g *Graph) connectedWithin(start int, in map[int]bool, want int) bool {
 // removal increases the number of connected components (Tarjan lowlink).
 // The result is a boolean per vertex.
 func (g *Graph) ArticulationPoints() []bool {
-	n := len(g.adj)
+	g.ensure()
+	n := g.n
 	art := make([]bool, n)
 	disc := make([]int, n)
 	low := make([]int, n)
@@ -240,8 +326,8 @@ func (g *Graph) ArticulationPoints() []bool {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			u := f.u
-			if f.idx < len(g.adj[u]) {
-				v := g.adj[u][f.idx]
+			if nbs := g.arena[g.off[u]:g.off[u+1]]; f.idx < len(nbs) {
+				v := int(nbs[f.idx])
 				f.idx++
 				if disc[v] == -1 {
 					parent[v] = u
@@ -275,6 +361,7 @@ func (g *Graph) ArticulationPoints() []bool {
 // BFSOrder returns vertices in breadth-first order from start, restricted to
 // the subset `within` when non-nil.
 func (g *Graph) BFSOrder(start int, within map[int]bool) []int {
+	g.ensure()
 	if within != nil && !within[start] {
 		return nil
 	}
@@ -282,12 +369,12 @@ func (g *Graph) BFSOrder(start int, within map[int]bool) []int {
 	order := []int{start}
 	for i := 0; i < len(order); i++ {
 		u := order[i]
-		for _, v := range g.adj[u] {
-			if visited[v] || (within != nil && !within[v]) {
+		for _, v := range g.arena[g.off[u]:g.off[u+1]] {
+			if visited[int(v)] || (within != nil && !within[int(v)]) {
 				continue
 			}
-			visited[v] = true
-			order = append(order, v)
+			visited[int(v)] = true
+			order = append(order, int(v))
 		}
 	}
 	return order

@@ -107,7 +107,7 @@ func TestComponents(t *testing.T) {
 			// Every edge joins same-component vertices.
 			for u := 0; u < g.N(); u++ {
 				for _, v := range g.Neighbors(u) {
-					if comp[u] != comp[v] {
+					if comp[u] != comp[int(v)] {
 						t.Errorf("edge (%d,%d) crosses components", u, v)
 					}
 				}

@@ -108,7 +108,8 @@ func inducedComponent(g *Graph, members []int, m int) []int {
 	for len(queue) > 0 {
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, v := range g.Neighbors(u) {
+		for _, v32 := range g.Neighbors(u) {
+			v := int(v32)
 			if in[v] && !seen[v] {
 				seen[v] = true
 				comp = append(comp, v)

@@ -69,8 +69,8 @@ type WeightedEdge struct {
 func (g *Graph) MinimumSpanningForest(weight func(u, v int) float64) []WeightedEdge {
 	var edges []WeightedEdge
 	for u := 0; u < g.N(); u++ {
-		for _, v := range g.Neighbors(u) {
-			if u < v {
+		for _, v32 := range g.Neighbors(u) {
+			if v := int(v32); u < v {
 				edges = append(edges, WeightedEdge{U: u, V: v, Weight: weight(u, v)})
 			}
 		}

@@ -162,12 +162,12 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, threshold float64, rn
 			best, bestDiff := -1, math.Inf(1)
 			for _, m := range r.Members {
 				for _, nb := range g.Neighbors(m) {
-					if p.Assignment(nb) != region.Unassigned {
+					if p.Assignment(int(nb)) != region.Unassigned {
 						continue
 					}
 					d := math.Abs(dis[nb] - dis[seed])
 					if d < bestDiff {
-						best, bestDiff = nb, d
+						best, bestDiff = int(nb), d
 					}
 				}
 			}
@@ -193,7 +193,7 @@ func construct(ds *data.Dataset, ev *constraint.Evaluator, threshold float64, rn
 			}
 			best, bestDiff := -1, math.Inf(1)
 			for _, nb := range g.Neighbors(a) {
-				id := p.Assignment(nb)
+				id := p.Assignment(int(nb))
 				if id == region.Unassigned {
 					continue
 				}

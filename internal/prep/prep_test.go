@@ -1,0 +1,150 @@
+package prep
+
+import (
+	"testing"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/data"
+	"emp/internal/region"
+)
+
+// grid builds a small dataset: a 1×n path graph with one dissimilarity
+// column.
+func grid(t *testing.T, name string, vals []float64) *data.Dataset {
+	t.Helper()
+	ds := data.New(name, len(vals))
+	for i := 0; i < len(vals)-1; i++ {
+		ds.Adjacency[i] = append(ds.Adjacency[i], i+1)
+		ds.Adjacency[i+1] = append(ds.Adjacency[i+1], i)
+	}
+	if err := ds.AddColumn("X", vals); err != nil {
+		t.Fatal(err)
+	}
+	ds.Dissimilarity = "X"
+	return ds
+}
+
+// TestFingerprintPolicy pins what participates in the fingerprint: the
+// adjacency structure and the derived dissimilarity matrix do; the name and
+// solver-invisible attribute columns do not.
+func TestFingerprintPolicy(t *testing.T) {
+	base := grid(t, "a", []float64{1, 2, 3, 4})
+	a, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same content, different name and an extra unused column: equal.
+	same := grid(t, "renamed", []float64{1, 2, 3, 4})
+	if err := same.AddColumn("UNUSED", []float64{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprint depends on name or unused columns: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+
+	// Different dissimilarity values: differ.
+	vals := grid(t, "a", []float64{1, 2, 3, 5})
+	c, err := New(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint ignores dissimilarity values")
+	}
+
+	// Different adjacency (extra edge 0-2): differ.
+	edge := grid(t, "a", []float64{1, 2, 3, 4})
+	edge.Adjacency[0] = append(edge.Adjacency[0], 2)
+	edge.Adjacency[2] = append([]int{0}, edge.Adjacency[2]...)
+	d, err := New(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint ignores adjacency")
+	}
+}
+
+// TestNewRejectsUnsolvableDataset pins that preparation surfaces the same
+// configuration errors a solve would hit (no dissimilarity attribute).
+func TestNewRejectsUnsolvableDataset(t *testing.T) {
+	ds := data.New("bare", 2)
+	ds.Adjacency[0] = []int{1}
+	ds.Adjacency[1] = []int{0}
+	if _, err := New(ds); err == nil {
+		t.Fatal("New accepted a dataset without a dissimilarity configuration")
+	}
+}
+
+// TestPlanSubArtifacts pins the lazy component decomposition: one prepared
+// sub-artifact per component, each built from the plan's sub-dataset, and
+// repeated Plan calls return the same decomposition.
+func TestPlanSubArtifacts(t *testing.T) {
+	ds, err := census.Scaled("10k", 0.05, 1) // multi-component substrate
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, subs, err := art.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) < 2 {
+		t.Fatalf("expected a multi-component plan, got %d shard(s)", len(plan.Shards))
+	}
+	if len(subs) != len(plan.Shards) {
+		t.Fatalf("%d sub-artifacts for %d shards", len(subs), len(plan.Shards))
+	}
+	for i, sub := range subs {
+		if sub.Dataset() != plan.Shards[i].Dataset {
+			t.Errorf("sub-artifact %d prepared from the wrong dataset", i)
+		}
+	}
+	plan2, subs2, err := art.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2 != plan || len(subs2) != len(subs) || subs2[0] != subs[0] {
+		t.Error("Plan is not memoized")
+	}
+}
+
+// TestSharedPartitionEquivalence pins that a partition built on the
+// artifact's shared state behaves like one built standalone: same
+// heterogeneity bookkeeping on the same moves.
+func TestSharedPartitionEquivalence(t *testing.T) {
+	ds := grid(t, "g", []float64{5, 1, 4, 2, 3, 6})
+	art, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := constraint.NewEvaluator(constraint.Set{constraint.AtLeast(constraint.Count, "", 1)}, ds.Column)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := region.PartitionFromRegions(ds, ev, [][]int{{0, 1, 2}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := region.PartitionFromRegionsShared(art.Shared(), ev, [][]int{{0, 1, 2}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Heterogeneity() != shared.Heterogeneity() {
+		t.Fatalf("H diverged: plain %v, shared %v", plain.Heterogeneity(), shared.Heterogeneity())
+	}
+	plain.MoveArea(2, plain.Assignment(3))
+	shared.MoveArea(2, shared.Assignment(3))
+	if plain.Heterogeneity() != shared.Heterogeneity() {
+		t.Fatalf("H diverged after move: plain %v, shared %v", plain.Heterogeneity(), shared.Heterogeneity())
+	}
+}

@@ -1,6 +1,9 @@
 package region
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // This file implements the incremental heterogeneity kernel: an O(log n)
 // evaluator for Σ_m |d_a − d_m| over the members m of a region, the quantity
@@ -40,11 +43,26 @@ type heteroKernel struct {
 	n int
 	// vals[ai][area] is the (scaled) dissimilarity value.
 	vals [][]float64
+	// valsT holds the same values area-major (valsT[area*attrs+ai]), so a
+	// pair term touches one cache line per area instead of one per attribute.
+	valsT []float64
+	attrs int
 	// rank[ai][area] is the area's unique rank in the sorted order of
 	// attribute ai (ascending value, ties by area id).
 	rank [][]int32
 	// minFen is the region size at which a Fenwick tree is built.
 	minFen int
+}
+
+// pairDiff returns Σ_attr |d_attr(a) − d_attr(b)|, summed in attribute order
+// so the result is bitwise identical to the attribute-major loop it replaces.
+func (k *heteroKernel) pairDiff(a, b int) float64 {
+	var total float64
+	ia, ib := a*k.attrs, b*k.attrs
+	for i := 0; i < k.attrs; i++ {
+		total += math.Abs(k.valsT[ia+i] - k.valsT[ib+i])
+	}
+	return total
 }
 
 // newHeteroKernel builds the rank order of each dissimilarity column.
@@ -53,9 +71,15 @@ func newHeteroKernel(dis [][]float64) *heteroKernel {
 	if len(dis) > 0 {
 		n = len(dis[0])
 	}
-	k := &heteroKernel{n: n, vals: dis, minFen: kernelMinRegion}
+	k := &heteroKernel{n: n, vals: dis, attrs: len(dis), minFen: kernelMinRegion}
 	if t := n / fenRegionCap; t > k.minFen {
 		k.minFen = t
+	}
+	k.valsT = make([]float64, n*len(dis))
+	for ai, col := range dis {
+		for area, v := range col {
+			k.valsT[area*len(dis)+ai] = v
+		}
 	}
 	k.rank = make([][]int32, len(dis))
 	order := make([]int, n)
@@ -78,16 +102,26 @@ func newHeteroKernel(dis [][]float64) *heteroKernel {
 	return k
 }
 
+// fenNode is one Fenwick tree cell: the member value sum and member count
+// of the rank range the cell covers, fused into a single 16-byte struct so a
+// prefix walk touches one cache line per level instead of two (the split
+// cnt/sum arrays made every query traverse two parallel arrays).
+type fenNode struct {
+	sum float64
+	cnt int32
+	_   int32
+}
+
 // regionFen is one region's Fenwick index: per attribute, a tree over ranks
 // holding member counts and member value sums, plus the running totals.
 type regionFen struct {
 	size int
-	cnt  [][]int32
-	sum  [][]float64
+	tree [][]fenNode
 	tot  []float64
 }
 
-// acquireFen returns a zeroed regionFen, reusing a pooled one when possible.
+// acquireFen returns a zeroed regionFen, reusing a pooled one when possible:
+// first the partition-local free list, then the Shared cross-partition pool.
 func (p *Partition) acquireFen() *regionFen {
 	if n := len(p.fenPool); n > 0 {
 		f := p.fenPool[n-1]
@@ -96,15 +130,20 @@ func (p *Partition) acquireFen() *regionFen {
 		p.stats.FenwickPoolReuse++
 		return f
 	}
+	if p.shared != nil {
+		if f, _ := p.shared.fens.Get().(*regionFen); f != nil {
+			f.reset()
+			p.stats.FenwickPoolReuse++
+			return f
+		}
+	}
 	k := p.krn
 	f := &regionFen{
-		cnt: make([][]int32, len(k.vals)),
-		sum: make([][]float64, len(k.vals)),
-		tot: make([]float64, len(k.vals)),
+		tree: make([][]fenNode, len(k.vals)),
+		tot:  make([]float64, len(k.vals)),
 	}
 	for ai := range k.vals {
-		f.cnt[ai] = make([]int32, k.n+1)
-		f.sum[ai] = make([]float64, k.n+1)
+		f.tree[ai] = make([]fenNode, k.n+1)
 	}
 	return f
 }
@@ -119,13 +158,10 @@ func (p *Partition) releaseFen(f *regionFen) {
 // reset zeroes the tree in place.
 func (f *regionFen) reset() {
 	f.size = 0
-	for ai := range f.cnt {
-		c, s := f.cnt[ai], f.sum[ai]
-		for i := range c {
-			c[i] = 0
-		}
-		for i := range s {
-			s[i] = 0
+	for ai := range f.tree {
+		t := f.tree[ai]
+		for i := range t {
+			t[i] = fenNode{}
 		}
 		f.tot[ai] = 0
 	}
@@ -137,10 +173,10 @@ func (k *heteroKernel) add(f *regionFen, area int) {
 	for ai := range k.vals {
 		v := k.vals[ai][area]
 		f.tot[ai] += v
-		cnt, sum := f.cnt[ai], f.sum[ai]
-		for i := int(k.rank[ai][area]) + 1; i < len(cnt); i += i & (-i) {
-			cnt[i]++
-			sum[i] += v
+		t := f.tree[ai]
+		for i := int(k.rank[ai][area]) + 1; i < len(t); i += i & (-i) {
+			t[i].cnt++
+			t[i].sum += v
 		}
 	}
 }
@@ -151,10 +187,10 @@ func (k *heteroKernel) remove(f *regionFen, area int) {
 	for ai := range k.vals {
 		v := k.vals[ai][area]
 		f.tot[ai] -= v
-		cnt, sum := f.cnt[ai], f.sum[ai]
-		for i := int(k.rank[ai][area]) + 1; i < len(cnt); i += i & (-i) {
-			cnt[i]--
-			sum[i] -= v
+		t := f.tree[ai]
+		for i := int(k.rank[ai][area]) + 1; i < len(t); i += i & (-i) {
+			t[i].cnt--
+			t[i].sum -= v
 		}
 	}
 }
@@ -166,13 +202,13 @@ func (k *heteroKernel) query(f *regionFen, area int) float64 {
 	var total float64
 	for ai := range k.vals {
 		v := k.vals[ai][area]
-		cnt, sum := f.cnt[ai], f.sum[ai]
+		t := f.tree[ai]
 		// Inclusive prefix over ranks <= rank(area).
 		var cb int32
 		var sb float64
 		for i := int(k.rank[ai][area]) + 1; i > 0; i -= i & (-i) {
-			cb += cnt[i]
-			sb += sum[i]
+			cb += t[i].cnt
+			sb += t[i].sum
 		}
 		total += v*float64(cb) - sb + (f.tot[ai] - sb) - v*float64(f.size-int(cb))
 	}

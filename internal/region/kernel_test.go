@@ -153,7 +153,7 @@ func TestKernelRandomMutations(t *testing.T) {
 				for _, a := range p.UnassignedAreas() {
 					done := false
 					for _, nb := range p.Graph().Neighbors(a) {
-						if id := p.Assignment(nb); id != Unassigned {
+						if id := p.Assignment(int(nb)); id != Unassigned {
 							p.AddArea(id, a)
 							done = true
 							break

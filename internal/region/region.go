@@ -37,7 +37,9 @@ type Region struct {
 }
 
 // Version returns the region's mutation epoch. It changes whenever the
-// member set changes, so (ID, Version) keys cached derived state.
+// member set changes, so (ID, Version) keys cached derived state. A region
+// with at least one member always has Version >= 1, so 0 can mean "unseen"
+// in id-indexed caches.
 func (r *Region) Version() int { return r.epoch }
 
 // Size returns the number of member areas.
@@ -50,13 +52,22 @@ const Unassigned = -1
 // dataset and constraint evaluator. The zero value is not usable; create
 // with NewPartition.
 type Partition struct {
-	ds      *data.Dataset
-	g       *graph.Graph
-	ev      *constraint.Evaluator
-	dis     [][]float64 // one row per dissimilarity attribute
-	assign  []int
-	regions map[int]*Region
-	nextID  int
+	ds     *data.Dataset
+	g      *graph.Graph
+	ev     *constraint.Evaluator
+	dis    [][]float64 // one row per dissimilarity attribute
+	assign []int
+	// regs is the region table indexed by region id (nil = no region with
+	// that id). Ids are issued monotonically and never reused, so the table
+	// only grows; iterating it ascending visits regions in ascending-id
+	// order with no sort and no allocation.
+	regs       []*Region
+	numRegions int
+	// freeRegs recycles deleted Region shells (member capacity + tracker
+	// arrays) for subsequent NewRegion calls. The shells keep no identity:
+	// ids are still issued fresh from nextID.
+	freeRegs []*Region
+	nextID   int
 
 	// krn is the immutable rank structure of the heterogeneity kernel
 	// (shared across clones); kernelOn gates the O(log n) path so the
@@ -64,6 +75,10 @@ type Partition struct {
 	krn      *heteroKernel
 	kernelOn bool
 	fenPool  []*regionFen
+	// shared, when non-nil, is the cross-partition pool state this
+	// partition draws scratch and Fenwick trees from; see Shared and
+	// Recycle.
+	shared *Shared
 	// scratch backs allocation-free contiguity and articulation queries.
 	// It makes Partition methods non-reentrant; a Partition was already
 	// not safe for concurrent use.
@@ -92,7 +107,6 @@ func NewPartition(ds *data.Dataset, ev *constraint.Evaluator) (*Partition, error
 		ev:       ev,
 		dis:      dis,
 		assign:   assign,
-		regions:  make(map[int]*Region),
 		nextID:   1,
 		krn:      newHeteroKernel(dis),
 		kernelOn: true,
@@ -107,7 +121,10 @@ func NewPartition(ds *data.Dataset, ev *constraint.Evaluator) (*Partition, error
 // are dropped when disabling and rebuilt lazily when re-enabling.
 func (p *Partition) SetHeteroKernel(on bool) {
 	p.kernelOn = on
-	for _, r := range p.regions {
+	for _, r := range p.regs {
+		if r == nil {
+			continue
+		}
 		if !on {
 			p.releaseFen(r.fen)
 			r.fen = nil
@@ -157,25 +174,37 @@ func (p *Partition) Graph() *graph.Graph { return p.g }
 func (p *Partition) Evaluator() *constraint.Evaluator { return p.ev }
 
 // NumRegions returns p, the number of regions.
-func (p *Partition) NumRegions() int { return len(p.regions) }
+func (p *Partition) NumRegions() int { return p.numRegions }
 
 // Assignment returns the region id of the area, or Unassigned.
 func (p *Partition) Assignment(area int) int { return p.assign[area] }
 
 // Region returns the region with the given id, or nil.
-func (p *Partition) Region(id int) *Region { return p.regions[id] }
+func (p *Partition) Region(id int) *Region {
+	if id < 0 || id >= len(p.regs) {
+		return nil
+	}
+	return p.regs[id]
+}
+
+// RegionIDBound returns an exclusive upper bound on every region id this
+// partition has issued (all current and past ids are < bound). Consumers
+// size id-indexed caches with it; the bound only grows, since ids are never
+// reused.
+func (p *Partition) RegionIDBound() int { return p.nextID }
 
 // RegionIDs returns all region ids in ascending order.
 func (p *Partition) RegionIDs() []int {
-	ids := make([]int, 0, len(p.regions))
-	for id := range p.regions {
-		ids = append(ids, id)
+	ids := make([]int, 0, p.numRegions)
+	for id, r := range p.regs {
+		if r != nil {
+			ids = append(ids, id)
+		}
 	}
-	sort.Ints(ids)
 	return ids
 }
 
-// Unassigned returns the areas not assigned to any region, ascending.
+// UnassignedAreas returns the areas not assigned to any region, ascending.
 func (p *Partition) UnassignedAreas() []int {
 	var out []int
 	for a, r := range p.assign {
@@ -197,12 +226,40 @@ func (p *Partition) UnassignedCount() int {
 	return c
 }
 
+// insertRegion installs a region in the table at its id.
+func (p *Partition) insertRegion(r *Region) {
+	for len(p.regs) <= r.ID {
+		p.regs = append(p.regs, nil)
+	}
+	p.regs[r.ID] = r
+	p.numRegions++
+}
+
+// deleteRegion removes the region from the table and parks its shell on the
+// free-list for reuse. The caller must have released r.fen already.
+func (p *Partition) deleteRegion(r *Region) {
+	p.regs[r.ID] = nil
+	p.numRegions--
+	p.freeRegs = append(p.freeRegs, r)
+}
+
 // NewRegion creates a region from the given unassigned areas and returns it.
 // It panics if any area is already assigned — callers own that invariant.
 func (p *Partition) NewRegion(areas ...int) *Region {
-	r := &Region{ID: p.nextID, Tracker: p.ev.NewTracker()}
+	var r *Region
+	if n := len(p.freeRegs); n > 0 {
+		r = p.freeRegs[n-1]
+		p.freeRegs = p.freeRegs[:n-1]
+		r.ID = p.nextID
+		r.Members = r.Members[:0]
+		r.Hetero = 0
+		r.epoch = 0
+		r.Tracker.Reset()
+	} else {
+		r = &Region{ID: p.nextID, Tracker: p.ev.NewTracker()}
+	}
 	p.nextID++
-	p.regions[r.ID] = r
+	p.insertRegion(r)
 	for _, a := range areas {
 		p.addAreaTo(r, a)
 	}
@@ -211,7 +268,7 @@ func (p *Partition) NewRegion(areas ...int) *Region {
 
 // AddArea assigns an unassigned area to the region.
 func (p *Partition) AddArea(regionID, area int) {
-	r := p.regions[regionID]
+	r := p.Region(regionID)
 	if r == nil {
 		panic(fmt.Sprintf("region: AddArea to unknown region %d", regionID))
 	}
@@ -242,7 +299,7 @@ func (p *Partition) RemoveArea(area int) {
 	if id == Unassigned {
 		panic(fmt.Sprintf("region: area %d is not assigned", area))
 	}
-	r := p.regions[id]
+	r := p.regs[id]
 	idx := -1
 	for i, a := range r.Members {
 		if a == area {
@@ -262,13 +319,13 @@ func (p *Partition) RemoveArea(area int) {
 	if len(r.Members) == 0 {
 		p.releaseFen(r.fen)
 		r.fen = nil
-		delete(p.regions, id)
+		p.deleteRegion(r)
 	}
 }
 
 // DissolveRegion unassigns every member of the region and deletes it.
 func (p *Partition) DissolveRegion(regionID int) {
-	r := p.regions[regionID]
+	r := p.Region(regionID)
 	if r == nil {
 		return
 	}
@@ -277,7 +334,7 @@ func (p *Partition) DissolveRegion(regionID int) {
 	}
 	p.releaseFen(r.fen)
 	r.fen = nil
-	delete(p.regions, regionID)
+	p.deleteRegion(r)
 }
 
 // MergeRegions folds region srcID into dstID, keeping dstID. The merged
@@ -286,7 +343,7 @@ func (p *Partition) MergeRegions(dstID, srcID int) {
 	if dstID == srcID {
 		return
 	}
-	dst, src := p.regions[dstID], p.regions[srcID]
+	dst, src := p.Region(dstID), p.Region(srcID)
 	if dst == nil || src == nil {
 		panic(fmt.Sprintf("region: merge %d <- %d with unknown region", dstID, srcID))
 	}
@@ -312,7 +369,7 @@ func (p *Partition) MergeRegions(dstID, srcID int) {
 	dst.Tracker.Merge(src.Tracker)
 	p.releaseFen(src.fen)
 	src.fen = nil
-	delete(p.regions, srcID)
+	p.deleteRegion(src)
 }
 
 // MoveArea transfers an area from its current region to another existing
@@ -337,19 +394,24 @@ func (p *Partition) sumAbsDiff(area int, members []int) float64 {
 	return s
 }
 
+// PairDissimilarity returns the dissimilarity contribution of one area pair:
+// Σ_attr |d_attr(a) − d_attr(b)|. It is the unit term of region
+// heterogeneity, letting callers adjust a cached Σ_m |d_x − d_m| by a single
+// member's arrival or departure in O(attrs).
+func (p *Partition) PairDissimilarity(a, b int) float64 {
+	return p.krn.pairDiff(a, b)
+}
+
 // Heterogeneity returns H(P): the sum of internal heterogeneity over all
-// regions (Equation 1 of the paper). Regions are summed in ascending id
-// order so the float result is identical run-to-run for the same partition
-// (map iteration order would otherwise perturb rounding).
+// regions (Equation 1 of the paper). The region table is id-ordered, so the
+// float result is identical run-to-run for the same partition with no sort
+// and no allocation.
 func (p *Partition) Heterogeneity() float64 {
-	ids := make([]int, 0, len(p.regions))
-	for id := range p.regions {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	var h float64
-	for _, id := range ids {
-		h += p.regions[id].Hetero
+	for _, r := range p.regs {
+		if r != nil {
+			h += r.Hetero
+		}
 	}
 	return h
 }
@@ -359,17 +421,32 @@ func (p *Partition) Heterogeneity() float64 {
 // kernel on both sides cost O(attrs·log n); the area's self-term in its own
 // region is zero, so no member needs to be excluded explicitly.
 func (p *Partition) HeteroDeltaMove(area, toRegionID int) float64 {
-	from := p.regions[p.assign[area]]
-	to := p.regions[toRegionID]
+	from := p.regs[p.assign[area]]
+	to := p.regs[toRegionID]
 	loss := p.regionAbsDiff(from, area)
 	gain := p.regionAbsDiff(to, area)
 	return gain - loss
 }
 
+// HeteroLoss returns the drop in the donor region's heterogeneity if the
+// area left its current region — the donor half of HeteroDeltaMove. Paired
+// with HeteroGain it lets callers evaluating one donor against many targets
+// compute the loss once: DeltaMove(a, to) == HeteroGain(a, to) −
+// HeteroLoss(a) with bitwise-identical results.
+func (p *Partition) HeteroLoss(area int) float64 {
+	return p.regionAbsDiff(p.regs[p.assign[area]], area)
+}
+
+// HeteroGain returns the rise in the target region's heterogeneity if the
+// area joined it — the target half of HeteroDeltaMove.
+func (p *Partition) HeteroGain(area, toRegionID int) float64 {
+	return p.regionAbsDiff(p.regs[toRegionID], area)
+}
+
 // RegionConnected reports whether the region's members induce a connected
 // subgraph.
 func (p *Partition) RegionConnected(regionID int) bool {
-	r := p.regions[regionID]
+	r := p.Region(regionID)
 	if r == nil {
 		return false
 	}
@@ -383,7 +460,7 @@ func (p *Partition) CanRemove(area int) bool {
 	if id == Unassigned {
 		return false
 	}
-	r := p.regions[id]
+	r := p.regs[id]
 	return p.g.ConnectedSubsetExcludingScratch(p.scratch, r.Members, area)
 }
 
@@ -391,10 +468,11 @@ func (p *Partition) CanRemove(area int) bool {
 // member can be removed without disconnecting the rest — the donor-side
 // contiguity check of swap moves, answered for the whole region in one
 // articulation-point pass (O(|R| + induced edges)) instead of one BFS per
-// member. Cache the result keyed by (regionID, Version()) — it is valid
-// until the region next mutates.
+// member. The result is a reusable scratch buffer: it is valid until the
+// partition's next contiguity or removability query, and callers cache it
+// keyed by (regionID, Version()) only after copying.
 func (p *Partition) RemovableMembers(regionID int) []bool {
-	r := p.regions[regionID]
+	r := p.Region(regionID)
 	if r == nil {
 		return nil
 	}
@@ -403,6 +481,25 @@ func (p *Partition) RemovableMembers(regionID int) []bool {
 		art[i] = !art[i]
 	}
 	return art
+}
+
+// RemovableAndBoundary is RemovableMembers extended to also report the
+// region's boundary in the same traversal: bu/bv list every incidence from a
+// member (bu) to an area outside the region (bv) — including unassigned
+// areas — one entry per adjacency. Local-search refresh uses it to discover
+// affected areas and removability verdicts in a single pass over the region
+// instead of two. All returned slices are reusable scratch buffers valid
+// until the partition's next contiguity or removability query.
+func (p *Partition) RemovableAndBoundary(regionID int) (removable []bool, bu, bv []int32) {
+	r := p.Region(regionID)
+	if r == nil {
+		return nil, nil, nil
+	}
+	art, bu, bv := p.g.SubsetArticulationBoundary(p.scratch, r.Members)
+	for i := range art {
+		art[i] = !art[i]
+	}
+	return art, bu, bv
 }
 
 // AdjacentToRegion reports whether the area has at least one neighbor in
@@ -419,7 +516,7 @@ func (p *Partition) AdjacentToRegion(area, regionID int) bool {
 // NeighborRegions returns the ids of regions adjacent to the given region
 // (sharing at least one boundary edge), ascending.
 func (p *Partition) NeighborRegions(regionID int) []int {
-	r := p.regions[regionID]
+	r := p.Region(regionID)
 	if r == nil {
 		return nil
 	}
@@ -443,7 +540,7 @@ func (p *Partition) NeighborRegions(regionID int) []int {
 // BoundaryAreas returns the member areas of the region that have at least
 // one neighbor outside it (unassigned or in another region), ascending.
 func (p *Partition) BoundaryAreas(regionID int) []int {
-	r := p.regions[regionID]
+	r := p.Region(regionID)
 	if r == nil {
 		return nil
 	}
@@ -463,7 +560,7 @@ func (p *Partition) BoundaryAreas(regionID int) []int {
 // BorderAreasBetween returns areas of region fromID adjacent to region toID,
 // ascending — the swap candidates of Step 3 and the Tabu phase.
 func (p *Partition) BorderAreasBetween(fromID, toID int) []int {
-	r := p.regions[fromID]
+	r := p.Region(fromID)
 	if r == nil {
 		return nil
 	}
@@ -487,11 +584,11 @@ func (p *Partition) MoveValid(area, toRegionID int) bool {
 	if fromID == Unassigned || fromID == toRegionID {
 		return false
 	}
-	to := p.regions[toRegionID]
+	to := p.Region(toRegionID)
 	if to == nil {
 		return false
 	}
-	from := p.regions[fromID]
+	from := p.regs[fromID]
 	if len(from.Members) <= 1 {
 		return false
 	}
@@ -509,8 +606,8 @@ func (p *Partition) MoveValid(area, toRegionID int) bool {
 
 // AllSatisfied reports whether every region satisfies every constraint.
 func (p *Partition) AllSatisfied() bool {
-	for _, r := range p.regions {
-		if !r.Tracker.SatisfiedAll() {
+	for _, r := range p.regs {
+		if r != nil && !r.Tracker.SatisfiedAll() {
 			return false
 		}
 	}
@@ -518,21 +615,30 @@ func (p *Partition) AllSatisfied() bool {
 }
 
 // Clone returns a deep copy of the partition sharing the immutable dataset,
-// graph and evaluator.
+// graph, evaluator and (when present) the Shared pool state.
 func (p *Partition) Clone() *Partition {
 	c := &Partition{
-		ds:       p.ds,
-		g:        p.g,
-		ev:       p.ev,
-		dis:      p.dis,
-		assign:   append([]int(nil), p.assign...),
-		regions:  make(map[int]*Region, len(p.regions)),
-		nextID:   p.nextID,
-		krn:      p.krn,
-		kernelOn: p.kernelOn,
-		scratch:  p.g.NewScratch(),
+		ds:         p.ds,
+		g:          p.g,
+		ev:         p.ev,
+		dis:        p.dis,
+		assign:     append([]int(nil), p.assign...),
+		regs:       make([]*Region, len(p.regs)),
+		numRegions: p.numRegions,
+		nextID:     p.nextID,
+		krn:        p.krn,
+		kernelOn:   p.kernelOn,
+		shared:     p.shared,
 	}
-	for id, r := range p.regions {
+	if p.shared != nil {
+		c.scratch = p.shared.getScratch()
+	} else {
+		c.scratch = p.g.NewScratch()
+	}
+	for id, r := range p.regs {
+		if r == nil {
+			continue
+		}
 		cr := &Region{
 			ID:      r.ID,
 			Members: append([]int(nil), r.Members...),
@@ -543,7 +649,7 @@ func (p *Partition) Clone() *Partition {
 		// Fenwick trees are per-partition state: rebuild rather than
 		// deep-copy so the pool stays private to each clone.
 		c.maybeBuildFen(cr)
-		c.regions[id] = cr
+		c.regs[id] = cr
 	}
 	return c
 }
@@ -555,10 +661,15 @@ func (p *Partition) Clone() *Partition {
 //   - every region is spatially contiguous,
 //   - trackers and heterogeneity match naive recomputation.
 func (p *Partition) Validate() error {
+	count := 0
 	seen := make(map[int]int) // area -> region id
-	for id, r := range p.regions {
+	for id, r := range p.regs {
+		if r == nil {
+			continue
+		}
+		count++
 		if id != r.ID {
-			return fmt.Errorf("region: map key %d != region id %d", id, r.ID)
+			return fmt.Errorf("region: table slot %d != region id %d", id, r.ID)
 		}
 		if len(r.Members) == 0 {
 			return fmt.Errorf("region: region %d is empty", id)
@@ -594,6 +705,9 @@ func (p *Partition) Validate() error {
 			return fmt.Errorf("region: region %d heterogeneity %g != recompute %g", id, r.Hetero, h)
 		}
 	}
+	if count != p.numRegions {
+		return fmt.Errorf("region: table holds %d regions but counter says %d", count, p.numRegions)
+	}
 	for a, id := range p.assign {
 		if id == Unassigned {
 			continue
@@ -616,27 +730,36 @@ func PartitionFromRegions(ds *data.Dataset, ev *constraint.Evaluator, regions []
 	if err != nil {
 		return nil, err
 	}
-	n := ds.N()
+	if err := p.fillRegions(regions); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// fillRegions seeds the empty partition with the given member lists,
+// validating instead of panicking.
+func (p *Partition) fillRegions(regions [][]int) error {
+	n := p.ds.N()
 	for ri, members := range regions {
 		if len(members) == 0 {
-			return nil, fmt.Errorf("region: region list %d is empty", ri)
+			return fmt.Errorf("region: region list %d is empty", ri)
 		}
 		seen := make(map[int]bool, len(members))
 		for _, a := range members {
 			if a < 0 || a >= n {
-				return nil, fmt.Errorf("region: region list %d has out-of-range area %d", ri, a)
+				return fmt.Errorf("region: region list %d has out-of-range area %d", ri, a)
 			}
 			if id := p.assign[a]; id != Unassigned {
-				return nil, fmt.Errorf("region: area %d in region lists %d and %d", a, id-1, ri)
+				return fmt.Errorf("region: area %d in region lists %d and %d", a, id-1, ri)
 			}
 			if seen[a] {
-				return nil, fmt.Errorf("region: region list %d repeats area %d", ri, a)
+				return fmt.Errorf("region: region list %d repeats area %d", ri, a)
 			}
 			seen[a] = true
 		}
 		p.NewRegion(members...)
 	}
-	return p, nil
+	return nil
 }
 
 // Summary captures the headline numbers of a solution.

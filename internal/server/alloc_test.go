@@ -1,0 +1,29 @@
+package server
+
+import (
+	"testing"
+)
+
+// TestCachedServeAllocs guards the steady-state allocation rate of request
+// serving: a request that hits the result cache does request parsing, a
+// fingerprint computation, one cache lookup and a JSON response — no solve,
+// no dataset resolution. The bound is deliberately loose (JSON and the
+// recorder allocate by nature); it exists to catch a regression that drags
+// dataset preparation or the solver back onto the hot path, which costs
+// thousands of allocations, not tens.
+func TestCachedServeAllocs(t *testing.T) {
+	h, _ := newServingHandler(t, Config{})
+	body := `{"named":"1k","scale":0.1,"constraints":"SUM(TOTALPOP) >= 20000","options":{"seed":1}}`
+	// Prime the dataset artifact and result caches.
+	if rec := postSolve(h, body, "", nil); rec.Code != 200 {
+		t.Fatalf("priming request failed: %d %s", rec.Code, rec.Body.String())
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if rec := postSolve(h, body, "", nil); rec.Code != 200 {
+			t.Fatalf("cached request failed: %d", rec.Code)
+		}
+	})
+	if avg > 500 {
+		t.Errorf("cached request serving allocates %.0f objects per request, want <= 500 (did the solve path leak onto the cache-hit path?)", avg)
+	}
+}

@@ -66,9 +66,9 @@ func (o SolveOptions) Config() (fact.Config, error) {
 }
 
 // OptionsFromConfig is the inverse of Config for the wire-representable
-// knobs. Config fields without a wire form (Objective, ShardPool — in-process
-// values a remote client cannot supply) are dropped; the round-trip test
-// lists them explicitly as exemptions.
+// knobs. Config fields without a wire form (Objective, ShardPool, Prepared —
+// in-process values a remote client cannot supply) are dropped; the
+// round-trip test lists them explicitly as exemptions.
 func OptionsFromConfig(cfg fact.Config) SolveOptions {
 	return SolveOptions{
 		Iterations:      cfg.Iterations,

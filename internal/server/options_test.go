@@ -22,6 +22,7 @@ func mustSet(t *testing.T, s string) constraint.Set {
 var optionExempt = map[string]bool{
 	"Objective": true, // function value: custom objectives are library-only
 	"ShardPool": true, // process-wide worker pool injected by the service
+	"Prepared":  true, // prepared-dataset artifact attached by the service; result-neutral
 }
 
 // TestOptionsConfigRoundTrip pins the SolveOptions <-> fact.Config mapping

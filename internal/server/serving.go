@@ -14,6 +14,7 @@ import (
 	"emp/internal/data"
 	"emp/internal/fact"
 	"emp/internal/fault"
+	"emp/internal/prep"
 	"emp/internal/solvecache"
 )
 
@@ -104,20 +105,6 @@ func datasetKey(name string, scale float64, seed int64) string {
 		strconv.FormatInt(seed, 10))
 }
 
-// datasetCost approximates the resident bytes of a generated dataset:
-// polygon vertices, adjacency lists and attribute columns dominate.
-func datasetCost(ds *data.Dataset) int64 {
-	cost := int64(256)
-	for i := range ds.Polygons {
-		cost += 24 + int64(len(ds.Polygons[i].Outer))*16
-	}
-	for _, adj := range ds.Adjacency {
-		cost += 24 + int64(len(adj))*8
-	}
-	cost += int64(len(ds.Cols)) * (int64(ds.N())*8 + 24)
-	return cost
-}
-
 // responseCost approximates the resident bytes of a cached SolveResponse;
 // the assignment slice dominates.
 func responseCost(resp *SolveResponse) int64 {
@@ -128,22 +115,27 @@ func responseCost(resp *SolveResponse) int64 {
 	return cost
 }
 
-// datasetFor resolves the request's dataset. Named (and scaled) synthetic
-// datasets go through the artifact LRU — generating a 20k-area substrate
-// costs far more than solving on it hot — and concurrent misses on the same
-// key are collapsed by a singleflight so the substrate is built once.
-// Cached datasets are shared READ-ONLY across concurrent solves; nothing in
-// the solve path mutates a Dataset (partitions keep their own state), which
-// the race-enabled serving tests exercise.
-func (s *service) datasetFor(ctx context.Context, req *SolveRequest) (*data.Dataset, error) {
+// datasetFor resolves the request's dataset as a prepared artifact. Named
+// (and scaled) synthetic datasets go through the artifact LRU — generating a
+// 20k-area substrate and preparing its solver structures (dissimilarity
+// matrix, rank kernel, CSR graph) costs far more than solving on it hot —
+// and concurrent misses on the same key are collapsed by a singleflight so
+// the substrate is built and prepared once. Cached artifacts are shared
+// READ-ONLY-or-internally-synchronized across concurrent solves (see
+// prep.Artifact), which the race-enabled serving tests exercise.
+func (s *service) datasetFor(ctx context.Context, req *SolveRequest) (*prep.Artifact, error) {
 	if req.Dataset != nil {
-		// Inline documents are request-local: parse, don't cache.
-		return data.ReadJSON(bytes.NewReader(req.Dataset))
+		// Inline documents are request-local: parse and prepare, don't cache.
+		ds, err := data.ReadJSON(bytes.NewReader(req.Dataset))
+		if err != nil {
+			return nil, err
+		}
+		return prepArtifact(ds)
 	}
 	seed := req.Options.Seed // normalized by handleSolve
 	key := datasetKey(req.Named, req.Scale, seed)
 	if v, ok := s.dsCache.Get(key); ok {
-		return v.(*data.Dataset), nil
+		return v.(*prep.Artifact), nil
 	}
 	v, _, err := s.dsFlights.Do(ctx, key, func(context.Context) (any, error) {
 		// Generation is pure CPU without cancellation support, and its
@@ -164,13 +156,28 @@ func (s *service) datasetFor(ctx context.Context, req *SolveRequest) (*data.Data
 		if err != nil {
 			return nil, err
 		}
-		s.dsCache.Add(key, ds, datasetCost(ds))
-		return ds, nil
+		art, err := prepArtifact(ds)
+		if err != nil {
+			return nil, err
+		}
+		s.dsCache.Add(key, art, art.Cost())
+		return art, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*data.Dataset), nil
+	return v.(*prep.Artifact), nil
+}
+
+// prepArtifact prepares a resolved dataset. Datasets without a
+// dissimilarity configuration cannot be prepared or solved; surface the
+// prep error as the request error it would have become inside the solve.
+func prepArtifact(ds *data.Dataset) (*prep.Artifact, error) {
+	art, err := prep.New(ds)
+	if err != nil {
+		return nil, fmt.Errorf("preparing dataset: %w", err)
+	}
+	return art, nil
 }
 
 // runSolve executes one admitted solve: scheduler slot, dataset resolution,
@@ -192,10 +199,15 @@ func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constrain
 		return &solveOutcome{status: statusClientClosed, errMsg: "solve canceled: client closed request"}
 	}
 	defer release()
-	ds, err := s.datasetFor(ctx, req)
+	art, err := s.datasetFor(ctx, req)
 	if err != nil {
 		return &solveOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
 	}
+	ds := art.Dataset()
+	// Prepared is in-process state derived from the dataset, not a request
+	// knob: it never participates in the solve fingerprint (results are
+	// identical with or without it, pinned by a differential test).
+	cfg.Prepared = art
 	// The deadline starts after the queue wait and dataset resolution: it
 	// budgets the solve itself. TimeoutMillis is always positive here (the
 	// handler clamps 0 to the server max).

@@ -124,7 +124,8 @@ func subtreeMembers(tree *graph.Graph, removed map[[2]int]bool, start, blocked i
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, u)
-		for _, v := range tree.Neighbors(u) {
+		for _, v32 := range tree.Neighbors(u) {
+			v := int(v32)
 			if u == start && v == blocked {
 				continue
 			}
@@ -182,7 +183,8 @@ func components(tree *graph.Graph, removed map[[2]int]bool, n int) []int {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, v := range tree.Neighbors(u) {
+			for _, v32 := range tree.Neighbors(u) {
+				v := int(v32)
 				if removed[edgeKey(u, v)] || assign[v] >= 0 {
 					continue
 				}

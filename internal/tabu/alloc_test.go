@@ -1,0 +1,33 @@
+package tabu
+
+import "testing"
+
+// TestMoveLoopAllocs guards the steady-state allocation rate of the Tabu
+// move loop: once the searcher's buffers (candidate free list, heap, stamp
+// arrays, boundary pair buffers) are warm, applying a move and refreshing
+// the affected candidates must not allocate. The bound is per full
+// move+refresh+undo+refresh cycle; a regression here silently taxes every
+// one of the thousands of moves in a solve.
+func TestMoveLoopAllocs(t *testing.T) {
+	base := eightKPartition(t)
+	p := base.Clone()
+	s := newSearcher(p, Heterogeneity{})
+	if s.heap.len() == 0 {
+		t.Fatal("no candidate moves on the test partition")
+	}
+	it := s.heap.min()
+	a, to := it.key.area, it.key.to
+	from := p.Assignment(a)
+	cycle := func() {
+		p.MoveArea(a, to)
+		s.refreshAround(a, from, to)
+		p.MoveArea(a, from)
+		s.refreshAround(a, to, from)
+	}
+	for i := 0; i < 16; i++ {
+		cycle() // warm the pools and append-grown buffers
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0.5 {
+		t.Errorf("steady-state move loop allocates %.2f objects per cycle, want 0", avg)
+	}
+}

@@ -19,7 +19,7 @@ var bench8k struct {
 	err  error
 }
 
-func eightKPartition(b *testing.B) *region.Partition {
+func eightKPartition(b testing.TB) *region.Partition {
 	b.Helper()
 	bench8k.once.Do(func() {
 		ds, err := census.NamedSeeded("8k", 1)
@@ -82,7 +82,8 @@ func growRegions(p *region.Partition, k int) {
 		for r := range frontiers {
 			var next []int
 			for _, u := range frontiers[r] {
-				for _, v := range g.Neighbors(u) {
+				for _, v32 := range g.Neighbors(u) {
+					v := int(v32)
 					if assign[v] == -1 {
 						assign[v] = r
 						next = append(next, v)
@@ -206,9 +207,9 @@ func BenchmarkCandidateRefresh(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.MoveArea(a, to)
-				s.refreshAround(from, to)
+				s.refreshAround(a, from, to)
 				p.MoveArea(a, from)
-				s.refreshAround(to, from)
+				s.refreshAround(a, to, from)
 			}
 		})
 	}

@@ -170,7 +170,7 @@ func referenceImprove(p *region.Partition, cfg Config) []Move {
 			}
 			seen := map[int]bool{from: true}
 			for _, nb := range p.Graph().Neighbors(a) {
-				to := p.Assignment(nb)
+				to := p.Assignment(int(nb))
 				if to == region.Unassigned || seen[to] {
 					continue
 				}

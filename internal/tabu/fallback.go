@@ -146,7 +146,7 @@ func (s *fallbackSearcher) addCandidatesFor(a int) {
 	}
 	seen := map[int]bool{from: true}
 	for _, nb := range p.Graph().Neighbors(a) {
-		to := p.Assignment(nb)
+		to := p.Assignment(int(nb))
 		if to == region.Unassigned || seen[to] {
 			continue
 		}
@@ -172,8 +172,8 @@ func (s *fallbackSearcher) refreshAround(f, t int) {
 		for _, a := range r.Members {
 			affected[a] = true
 			for _, nb := range p.Graph().Neighbors(a) {
-				if p.Assignment(nb) != region.Unassigned {
-					affected[nb] = true
+				if p.Assignment(int(nb)) != region.Unassigned {
+					affected[int(nb)] = true
 				}
 			}
 		}

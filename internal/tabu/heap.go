@@ -5,7 +5,13 @@ package tabu
 type candItem struct {
 	key   moveKey
 	delta float64
-	pos   int
+	// gain caches the target-side heterogeneity term of delta (only under
+	// the default objective). The target's Fenwick state is unchanged since
+	// the gain was computed unless the target itself mutated — and every
+	// mutation of the target refreshes this item — so a refresh triggered by
+	// a donor-side change reuses the gain bitwise instead of re-querying.
+	gain float64
+	pos  int
 }
 
 // candHeap is an indexed binary min-heap of candidate moves ordered by
@@ -46,6 +52,15 @@ func (h *candHeap) pop() *candItem {
 // remove deletes the item from the heap; the item must be present.
 func (h *candHeap) remove(it *candItem) {
 	h.removeAt(it.pos)
+}
+
+// fix restores heap order after the item's delta changed in place — one
+// sift instead of the remove-plus-push pair, halving the churn of candidate
+// refreshes whose (area, target) keys survive a move.
+func (h *candHeap) fix(it *candItem) {
+	if !h.down(it.pos) {
+		h.up(it.pos)
+	}
 }
 
 func (h *candHeap) removeAt(i int) {
