@@ -55,7 +55,9 @@ bench-smoke:
 bench-tabu:
 	$(GO) run ./cmd/empbench -benchtabu -scale 1
 
-# bench-obs regenerates BENCH_obs.json (tabu throughput, telemetry off/on).
+# bench-obs regenerates BENCH_obs.json (tabu throughput with telemetry
+# off / on / full flight-recorder+tracing) and captures the full leg's span
+# events as TRACE_obs.jsonl.
 bench-obs:
 	$(GO) run ./cmd/empbench -benchobs -scale 1
 

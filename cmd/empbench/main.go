@@ -67,13 +67,14 @@ func main() {
 	}
 	if *benchObs {
 		cfg := experiments.Config{Scale: *scale, Seed: *seed}
-		res, err := experiments.WriteObsBench(cfg, "BENCH_obs.json")
+		res, err := experiments.WriteObsBenchTraced(cfg, "BENCH_obs.json", "TRACE_obs.jsonl")
 		if err != nil {
 			log.Fatalf("benchobs: %v", err)
 		}
-		fmt.Printf("tabu improve on %s (%d areas, %d regions): telemetry off %.3fs, on %.3fs, overhead %.2f%%\n",
-			res.Dataset, res.Areas, res.Regions, res.SecondsOff, res.SecondsOn, res.OverheadPct)
-		fmt.Println("wrote BENCH_obs.json")
+		fmt.Printf("tabu improve on %s (%d areas, %d regions): telemetry off %.3fs, on %.3fs (%.2f%%), full flight-recorder path %.3fs (%.2f%%, %d curve samples)\n",
+			res.Dataset, res.Areas, res.Regions, res.SecondsOff, res.SecondsOn, res.OverheadPct,
+			res.SecondsFull, res.OverheadFullPct, res.CurveSamples)
+		fmt.Println("wrote BENCH_obs.json and TRACE_obs.jsonl")
 		return
 	}
 	if *benchServe {

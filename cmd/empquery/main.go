@@ -12,6 +12,13 @@
 // the number of regions p, the unassigned count, heterogeneity before and
 // after local search, and phase timings; -assign writes the final
 // area-to-region assignment as CSV.
+//
+// The trace subcommand renders a solve's span tree and convergence summary,
+// either live from a running empserve or offline from a captured JSONL
+// stream:
+//
+//	empquery trace -addr http://localhost:8080 <trace_id>
+//	empquery trace TRACE_obs.jsonl
 package main
 
 import (
@@ -28,6 +35,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("empquery: ")
+	// Subcommand dispatch happens before flag.Parse so `empquery trace ...`
+	// keeps its own flag set; the flag-based query interface is unchanged.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	var (
 		dataPath   = flag.String("data", "", "dataset JSON path")
 		shpBase    = flag.String("shp", "", "ESRI shapefile base path (reads <base>.shp/<base>.dbf)")

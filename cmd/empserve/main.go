@@ -6,6 +6,7 @@
 //	         [-workers N] [-queue-depth N] [-queue-wait 10s]
 //	         [-max-timeout 5m] [-drain-grace 15s]
 //	         [-dataset-cache-mb 256] [-result-cache-mb 64]
+//	         [-flight-recorder-mb 8] [-flight-recorder-traces 64]
 //
 // Solves run on a bounded worker pool behind a FIFO queue; when the queue
 // is full or a queued solve exceeds -queue-wait the request is shed with
@@ -22,7 +23,17 @@
 //	GET  /healthz   liveness probe (200 while the process serves HTTP)
 //	GET  /readyz    readiness probe (503 while draining or queue-saturated)
 //	GET  /datasets  list the named synthetic datasets
-//	GET  /metrics   Prometheus text metrics (solver + HTTP)
+//	GET  /metrics   Prometheus text metrics (solver + HTTP + histograms)
+//	GET  /v1/debug/solves       in-flight solves (trace id, phase, p, H)
+//	GET  /v1/debug/trace/{id}   span tree + convergence curve of a solve
+//	GET  /v1/debug/cache        cache + flight-recorder occupancy
+//
+// Every request is one trace: an incoming W3C traceparent header is honored
+// and the request span's identity is echoed back, so a client can fetch
+// /v1/debug/trace/{trace_id} (or run `empquery trace <id>`) for the solve it
+// just issued. Recent solves are retained in a byte-budgeted flight
+// recorder sized by -flight-recorder-mb / -flight-recorder-traces.
+//
 //	POST /solve     run an EMP query; body:
 //	                {"named":"2k","scale":0.25,
 //	                 "constraints":"MIN(POP16UP) <= 3000; SUM(TOTALPOP) >= 20k",
@@ -80,6 +91,8 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 15*time.Second, "pause between flipping /readyz to 503 and closing the listener, so load balancers observe the drain")
 		dsCacheMB  = flag.Int64("dataset-cache-mb", server.DefaultDatasetCacheBytes>>20, "dataset artifact cache budget in MiB (negative disables)")
 		resCacheMB = flag.Int64("result-cache-mb", server.DefaultResultCacheBytes>>20, "solve result cache budget in MiB (negative disables)")
+		flightMB   = flag.Int64("flight-recorder-mb", server.DefaultFlightRecorderBytes>>20, "flight-recorder trace retention budget in MiB")
+		flightN    = flag.Int("flight-recorder-traces", server.DefaultFlightRecorderTraces, "finished traces retained for /v1/debug/trace")
 	)
 	flag.Parse()
 	if err := validateFlags(*workers, *queueDep, *queueWait, *maxBody, *maxTimeout, *drainGrace); err != nil {
@@ -110,6 +123,9 @@ func main() {
 		MaxSolveTimeout:   *maxTimeout,
 		DatasetCacheBytes: mb(*dsCacheMB),
 		ResultCacheBytes:  mb(*resCacheMB),
+
+		FlightRecorderBytes:  *flightMB << 20,
+		FlightRecorderTraces: *flightN,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"emp/internal/fault"
+	"emp/internal/flight"
 	"emp/internal/obs"
 	"emp/internal/region"
 	"emp/internal/tabu"
@@ -100,7 +101,9 @@ type appliedMove struct {
 // Improve runs simulated annealing on the partition in place; on return the
 // partition is at the best state visited.
 func Improve(p *region.Partition, cfg Config) Stats {
-	sp := met.span.Start()
+	// Inherit the solve's trace identity from cfg.Ctx (when one is attached)
+	// so the annealing phase appears in the reconstructed span tree.
+	sp, _ := met.span.StartCtx(cfg.Ctx)
 	stats := improve(p, cfg)
 	sp.End()
 	flushRun(&stats, p)
@@ -129,6 +132,7 @@ func improve(p *region.Partition, cfg Config) Stats {
 		return Stats{BestScore: obj.Total(p)}
 	}
 
+	rec := flight.FromContext(cfg.Ctx)
 	temp := cfg.InitialTemp
 	cur := obj.Total(p)
 	best := cur
@@ -178,6 +182,8 @@ func improve(p *region.Partition, cfg Config) Stats {
 				best = cur
 				stats.Improvements++
 				undo = undo[:0]
+				// New incumbent: one flight-recorder sample.
+				rec.Improve(p.NumRegions(), best, stats.Accepted)
 			}
 		}
 	}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"emp/internal/census"
+	"emp/internal/flight"
 	"emp/internal/maxp"
 	"emp/internal/obs"
 	"emp/internal/obswire"
@@ -33,6 +36,15 @@ type ObsBenchResult struct {
 	SecondsOn        float64 `json:"seconds_on"`
 	OverheadPct      float64 `json:"overhead_pct"`
 	CandidateEvalsOn int64   `json:"candidate_evals_on"`
+	// The "full" leg adds the flight-recorder path on top of the enabled
+	// registry: a trace-identified histogram span carried in the context,
+	// convergence samples recorded at every incumbent improvement, and span
+	// events streamed to a JSONL sink — the complete empserve request
+	// configuration. Its overhead is measured against the same off baseline.
+	MovesFull       int     `json:"moves_full"`
+	SecondsFull     float64 `json:"seconds_full"`
+	OverheadFullPct float64 `json:"overhead_full_pct"`
+	CurveSamples    int     `json:"curve_samples"`
 }
 
 // ObsBench measures telemetry overhead on the Tabu hot path. The start
@@ -42,6 +54,13 @@ type ObsBenchResult struct {
 // so scheduler noise doesn't inflate the comparison. The prior obswire
 // binding (if any) is restored before returning.
 func ObsBench(cfg Config) (*ObsBenchResult, error) {
+	return ObsBenchTraced(cfg, nil)
+}
+
+// ObsBenchTraced is ObsBench with the full leg's span events additionally
+// streamed to traceW as JSONL (nil discards them); the written stream is one
+// reconstructible trace per repetition, consumable by `empquery trace`.
+func ObsBenchTraced(cfg Config, traceW io.Writer) (*ObsBenchResult, error) {
 	cfg = cfg.withDefaults()
 	ds, err := dataset(cfg, "8k")
 	if err != nil {
@@ -61,14 +80,20 @@ func ObsBench(cfg Config) (*ObsBenchResult, error) {
 	base := res.Partition
 
 	const reps = 3
-	improve := func() (time.Duration, tabu.Stats) {
+	improve := func(mkCtx func() (context.Context, func())) (time.Duration, tabu.Stats) {
 		bestDur := time.Duration(0)
 		var bestStats tabu.Stats
 		for i := 0; i < reps; i++ {
 			p := base.Clone()
+			var ctx context.Context
+			done := func() {}
+			if mkCtx != nil {
+				ctx, done = mkCtx()
+			}
 			start := time.Now()
-			st := tabu.Improve(p, tabu.Config{Tenure: 10, MaxNoImprove: 30})
+			st := tabu.Improve(p, tabu.Config{Tenure: 10, MaxNoImprove: 30, Ctx: ctx})
 			d := time.Since(start)
+			done()
 			if i == 0 || d < bestDur {
 				bestDur, bestStats = d, st
 			}
@@ -77,12 +102,30 @@ func ObsBench(cfg Config) (*ObsBenchResult, error) {
 	}
 
 	obswire.Enable(nil)
-	durOff, statsOff := improve()
+	durOff, statsOff := improve(nil)
 
 	reg := obs.New()
 	reg.SetEnabled(true)
 	obswire.Enable(reg)
-	durOn, statsOn := improve()
+	durOn, statsOn := improve(nil)
+
+	// Full leg: same enabled registry plus the request-shaped context — a
+	// trace-rooting histogram span, a flight recorder sampling incumbent
+	// improvements, and (optionally) a JSONL sink receiving the span events.
+	regFull := obs.New()
+	regFull.SetEnabled(true)
+	if traceW != nil {
+		regFull.SetSink(obs.NewJSONLSink(traceW))
+	}
+	obswire.Enable(regFull)
+	solveHist := regFull.Histogram("emp_solve_duration", "Solve wall-time distribution.", nil)
+	var lastRec *flight.Recorder
+	durFull, statsFull := improve(func() (context.Context, func()) {
+		span, ctx := solveHist.StartCtx(context.Background())
+		rec := flight.NewRecorder(0)
+		lastRec = rec
+		return flight.NewContext(ctx, rec), func() { span.End() }
+	})
 	obswire.Enable(nil)
 
 	out := &ObsBenchResult{
@@ -94,19 +137,40 @@ func ObsBench(cfg Config) (*ObsBenchResult, error) {
 		Repetitions:      reps,
 		MovesOff:         statsOff.Moves,
 		MovesOn:          statsOn.Moves,
+		MovesFull:        statsFull.Moves,
 		SecondsOff:       durOff.Seconds(),
 		SecondsOn:        durOn.Seconds(),
+		SecondsFull:      durFull.Seconds(),
 		CandidateEvalsOn: statsOn.Counters.CandidateEvals,
+	}
+	if lastRec != nil {
+		out.CurveSamples = len(lastRec.Curve())
 	}
 	if durOff > 0 {
 		out.OverheadPct = (durOn.Seconds() - durOff.Seconds()) / durOff.Seconds() * 100
+		out.OverheadFullPct = (durFull.Seconds() - durOff.Seconds()) / durOff.Seconds() * 100
 	}
 	return out, nil
 }
 
-// WriteObsBench runs ObsBench and writes the JSON artifact.
+// WriteObsBench runs the benchmark and writes the JSON artifact to path plus
+// the full leg's captured span events to tracePath ("" skips the capture).
 func WriteObsBench(cfg Config, path string) (*ObsBenchResult, error) {
-	res, err := ObsBench(cfg)
+	return WriteObsBenchTraced(cfg, path, "")
+}
+
+// WriteObsBenchTraced is WriteObsBench with a trace JSONL capture.
+func WriteObsBenchTraced(cfg Config, path, tracePath string) (*ObsBenchResult, error) {
+	var traceW io.Writer
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obsbench: %w", err)
+		}
+		defer f.Close()
+		traceW = f
+	}
+	res, err := ObsBenchTraced(cfg, traceW)
 	if err != nil {
 		return nil, err
 	}

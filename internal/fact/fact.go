@@ -11,6 +11,7 @@ import (
 	"emp/internal/anneal"
 	"emp/internal/constraint"
 	"emp/internal/data"
+	"emp/internal/flight"
 	"emp/internal/prep"
 	"emp/internal/region"
 	"emp/internal/solvecache"
@@ -255,6 +256,11 @@ func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Con
 	if err != nil {
 		return nil, err
 	}
+	// Root solve span: one per SolveCtx call. It feeds the emp_solve_duration
+	// histogram and anchors the trace — every phase/shard/search span below
+	// becomes a descendant through the derived context.
+	solveSpan, ctx := met.histSolve.StartCtx(ctx)
+	defer solveSpan.End()
 	if !cfg.ShardOff && ds.Components() > 1 {
 		return solveSharded(ctx, ds, set, ev, cfg)
 	}
@@ -269,7 +275,15 @@ func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Con
 func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, cfg Config, asShard bool) (*Result, error) {
 	cfg = cfg.withDefaults(ds.N())
 
-	feasSpan := met.spanFeas.Start()
+	// The flight recorder rides the context; sub-solves of a sharded run
+	// share the parent's recorder but leave its phase at "shards" (phase
+	// transitions describe the top-level solve, samples carry per-component
+	// incumbents).
+	rec := flight.FromContext(ctx)
+	if !asShard {
+		rec.SetPhase(flight.PhaseFeasibility)
+	}
+	feasSpan, _ := met.spanFeas.StartCtx(ctx)
 	feas, err := Analyze(ds, ev)
 	feasTime := feasSpan.End()
 	if err != nil {
@@ -290,7 +304,10 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 	// iteration runs under the caller's full deadline (it produces the
 	// incumbent everything degrades to); re-roll iterations run under the
 	// construction budget slice so a deadline leaves room for the search.
-	consSpan := met.spanCons.Start()
+	if !asShard {
+		rec.SetPhase(flight.PhaseConstruction)
+	}
+	consSpan, _ := met.spanCons.StartCtx(ctx)
 	candidates := make([]*region.Partition, cfg.Iterations)
 	panicMsgs := make([]string, cfg.Iterations)
 	consCtx, consCancel := constructionCtx(ctx)
@@ -423,6 +440,9 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 	}
 	res.Partition = best
 	res.HeteroBefore = best.Heterogeneity()
+	// The construction incumbent is the first curve point: everything the
+	// search does improves on it.
+	rec.Improve(best.NumRegions(), res.HeteroBefore, 0)
 	if consCtx != ctx && consCtx.Err() != nil && ctx.Err() == nil &&
 		!deadlineHit && res.Iterations < cfg.Iterations {
 		// The construction budget slice ran out with the overall deadline
@@ -443,14 +463,20 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 			"deadline exceeded during construction; returning the construction-phase incumbent without local search")
 	}
 	if !skipSearch {
-		searchSpan := met.spanSearch.Start()
+		if !asShard {
+			rec.SetPhase(flight.PhaseSearch)
+		}
+		// searchCtx carries the phase span's identity, so the tabu/anneal
+		// span nests under it; cancellation semantics are untouched (the
+		// derived context shares ctx's Done channel).
+		searchSpan, searchCtx := met.spanSearch.StartCtx(ctx)
 		switch cfg.LocalSearch {
 		case LocalSearchAnneal:
 			stats := anneal.Improve(best, anneal.Config{
 				Objective: cfg.Objective,
 				Seed:      cfg.Seed,
 				Steps:     20 * cfg.MaxNoImprove,
-				Ctx:       ctx,
+				Ctx:       searchCtx,
 			})
 			res.TabuMoves = stats.Accepted
 			res.Improvements = stats.Improvements
@@ -461,7 +487,7 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 				Tenure:       cfg.TabuLength,
 				MaxNoImprove: cfg.MaxNoImprove,
 				Seed:         cfg.Seed,
-				Ctx:          ctx,
+				Ctx:          searchCtx,
 			})
 			res.TabuMoves = stats.Moves
 			res.Improvements = stats.Improvements
@@ -491,6 +517,8 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 		}
 		met.solves.Inc()
 		emitSolveEvent(res, cfg.LocalSearch.String())
+		// Final curve point: the (p, H) the caller's response reports.
+		rec.Finish(res.P, res.HeteroAfter)
 	}
 	return res, nil
 }

@@ -20,6 +20,13 @@ type pkgMetrics struct {
 	spanShardSolve  *obs.Timer
 	shardSolves     *obs.Counter
 	shardInfeasible *obs.Counter
+	// histSolve and histShard are the end-to-end latency distributions: the
+	// root solve span (one per SolveCtx call, whole or sharded) and the
+	// per-component sub-solve span. Their StartCtx spans also carry the
+	// request's trace identity into the solver, so the histograms and the
+	// span tree come from the same instrumentation points.
+	histSolve *obs.Histogram
+	histShard *obs.Histogram
 }
 
 var met pkgMetrics
@@ -55,6 +62,10 @@ func SetMetrics(r *obs.Registry) {
 			"Connected-component sub-solves executed by the sharded pipeline."),
 		shardInfeasible: r.Counter("emp_shard_infeasible_total",
 			"Sub-solves whose component was individually infeasible (areas left unassigned)."),
+		histSolve: r.Histogram("emp_solve_duration",
+			"End-to-end fact.Solve latency distribution (root solve span).", nil),
+		histShard: r.Histogram("emp_shard_duration",
+			"Connected-component sub-solve latency distribution.", nil),
 	}
 }
 

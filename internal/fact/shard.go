@@ -9,6 +9,7 @@ import (
 	"emp/internal/constraint"
 	"emp/internal/data"
 	"emp/internal/fault"
+	"emp/internal/flight"
 	"emp/internal/prep"
 	"emp/internal/region"
 	"emp/internal/shard"
@@ -65,7 +66,9 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 	// properties, so the global report equals the union of per-shard
 	// reports, and dataset-level hard infeasibility short-circuits all
 	// shards at once.
-	feasSpan := met.spanFeas.Start()
+	rec := flight.FromContext(ctx)
+	rec.SetPhase(flight.PhaseFeasibility)
+	feasSpan, _ := met.spanFeas.StartCtx(ctx)
 	feas, err := Analyze(ds, ev)
 	feasTime := feasSpan.End()
 	if err != nil {
@@ -78,7 +81,10 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 		return res, fmt.Errorf("%w: %v", ErrInfeasible, feas.Reasons)
 	}
 
-	shardSpan := met.spanShard.Start()
+	rec.SetPhase(flight.PhaseShards)
+	// shardCtx carries the shard-phase span identity so each component's
+	// sub-solve span — and everything under it — nests correctly.
+	shardSpan, shardCtx := met.spanShard.StartCtx(ctx)
 	// A prepared artifact carries the component plan and one prepared
 	// sub-artifact per component, so sub-solves run fully prepared and
 	// repeated solves on the same dataset share one decomposition.
@@ -128,9 +134,10 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 			if attempt++; attempt > 1 {
 				met.shardRetries.Inc()
 			}
-			span := met.spanShardSolve.Start()
-			r, err := solveShardAttempt(ctx, i, plan.Shards[i].Dataset, subEv, sub)
-			span.End()
+			span, attemptCtx := met.spanShardSolve.StartCtx(shardCtx)
+			r, err := solveShardAttempt(attemptCtx, i, plan.Shards[i].Dataset, subEv, sub)
+			d := span.End()
+			met.histShard.Observe(d)
 			met.shardSolves.Inc()
 			if errors.Is(err, ErrInfeasible) {
 				// Component-level infeasibility is not fatal: the areas stay
@@ -247,5 +254,7 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 	}
 	met.solves.Inc()
 	emitSolveEvent(res, cfg.LocalSearch.String())
+	// Final curve point: the merged (p, H) the caller's response reports.
+	rec.Finish(res.P, res.HeteroAfter)
 	return res, nil
 }

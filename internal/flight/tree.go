@@ -1,0 +1,129 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"emp/internal/obs"
+)
+
+// SpanNode is one node of a reconstructed span tree.
+type SpanNode struct {
+	SpanRec
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// BuildTree reconstructs the span forest from flat records: children attach
+// to their parent span; spans whose parent was never captured (or who have
+// none) become roots. Siblings sort by start time, then name for ties —
+// spans stamped in the same clock tick (fast phases) stay in a stable order.
+func BuildTree(spans []SpanRec) []*SpanNode {
+	nodes := make([]*SpanNode, len(spans))
+	byID := make(map[string]*SpanNode, len(spans))
+	for i := range spans {
+		n := &SpanNode{SpanRec: spans[i]}
+		nodes[i] = n
+		if n.SpanID != "" {
+			byID[n.SpanID] = n
+		}
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		if p, ok := byID[n.ParentID]; ok && n.ParentID != "" && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortKids func(ns []*SpanNode)
+	sortKids = func(ns []*SpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool {
+			if ns[i].StartUnixNano != ns[j].StartUnixNano {
+				return ns[i].StartUnixNano < ns[j].StartUnixNano
+			}
+			return ns[i].Name < ns[j].Name
+		})
+		for _, n := range ns {
+			sortKids(n.Children)
+		}
+	}
+	sortKids(roots)
+	return roots
+}
+
+// WriteTree renders the span forest as an ASCII tree with per-span
+// durations and, where a parent exists, the share of the parent's time:
+//
+//	http.request  1.284s
+//	└─ emp_solve_duration  1.281s (99.8%)
+//	   ├─ emp_solve_phase_duration{phase="feasibility"}  0.012s (0.9%)
+//	   └─ ...
+func WriteTree(w io.Writer, roots []*SpanNode) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range roots {
+		writeNode(bw, r, "", true, true, 0)
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *SpanNode, prefix string, last, root bool, parentNs int64) {
+	var connector, childPrefix string
+	if root {
+		connector, childPrefix = "", ""
+	} else if last {
+		connector, childPrefix = "└─ ", "   "
+	} else {
+		connector, childPrefix = "├─ ", "│  "
+	}
+	share := ""
+	if parentNs > 0 && n.DurNs > 0 {
+		share = fmt.Sprintf(" (%.1f%%)", 100*float64(n.DurNs)/float64(parentNs))
+	}
+	fmt.Fprintf(w, "%s%s%s  %s%s\n", prefix, connector, n.Name,
+		time.Duration(n.DurNs).Truncate(time.Microsecond), share)
+	for i, c := range n.Children {
+		writeNode(w, c, prefix+childPrefix, i == len(n.Children)-1, false, n.DurNs)
+	}
+}
+
+// ParseJSONL reads an obs JSONL event stream (as written by obs.JSONLSink)
+// and groups its identified span events by trace id. The second return is
+// the trace ids in first-seen order.
+func ParseJSONL(r io.Reader) (map[string][]SpanRec, []string, error) {
+	byTrace := make(map[string][]SpanRec)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate foreign lines in mixed streams
+		}
+		if ev.Kind != "span" || ev.TraceID == "" {
+			continue
+		}
+		if _, seen := byTrace[ev.TraceID]; !seen {
+			order = append(order, ev.TraceID)
+		}
+		byTrace[ev.TraceID] = append(byTrace[ev.TraceID], SpanRec{
+			Name:          ev.Name,
+			TraceID:       ev.TraceID,
+			SpanID:        ev.SpanID,
+			ParentID:      ev.ParentID,
+			StartUnixNano: ev.TimeUnixNano - ev.DurationNs,
+			DurNs:         ev.DurationNs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return byTrace, order, nil
+}

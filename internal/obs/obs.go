@@ -18,6 +18,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,12 +31,13 @@ type Registry struct {
 	enabled atomic.Bool
 	sink    atomic.Pointer[sinkBox]
 
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
-	help     map[string]string // metric family -> help text
-	names    []string          // registration order, for stable iteration
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+	help       map[string]string // metric family -> help text
+	names      []string          // registration order, for stable iteration
 }
 
 // sinkBox wraps the Sink interface so atomic.Pointer works regardless of the
@@ -45,10 +47,11 @@ type sinkBox struct{ s Sink }
 // New returns an empty, disabled registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
-		help:     make(map[string]string),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
 }
 
@@ -80,6 +83,19 @@ func (r *Registry) SetSink(s Sink) {
 // event payloads can use it to skip the work entirely.
 func (r *Registry) HasSink() bool { return r != nil && r.sink.Load() != nil }
 
+// Sink returns the installed sink (nil when none). Callers use it to compose
+// fan-outs around an already-wired registry without owning the original.
+func (r *Registry) Sink() Sink {
+	if r == nil {
+		return nil
+	}
+	box := r.sink.Load()
+	if box == nil {
+		return nil
+	}
+	return box.s
+}
+
 // Emit sends an event to the sink, stamping the time when unset. It is a
 // no-op when the registry is disabled or has no sink.
 func (r *Registry) Emit(e Event) {
@@ -92,6 +108,9 @@ func (r *Registry) Emit(e Event) {
 	}
 	if e.TimeUnixNano == 0 {
 		e.TimeUnixNano = time.Now().UnixNano()
+	}
+	if e.TS == "" {
+		e.TS = time.Unix(0, e.TimeUnixNano).UTC().Format(time.RFC3339Nano)
 	}
 	box.s.Emit(e)
 }
@@ -228,10 +247,19 @@ type Timer struct {
 
 // Observe records one duration and streams a span event to the sink.
 func (t *Timer) Observe(d time.Duration) {
-	if t == nil || !t.reg.enabled.Load() {
+	ns := d.Nanoseconds()
+	if !t.record(ns) {
 		return
 	}
-	ns := d.Nanoseconds()
+	t.reg.Emit(Event{Kind: "span", Name: t.name, DurationNs: ns})
+}
+
+// record updates the aggregate (count/sum/max) without emitting an event and
+// reports whether the observation was recorded.
+func (t *Timer) record(ns int64) bool {
+	if t == nil || !t.reg.enabled.Load() {
+		return false
+	}
 	t.count.Add(1)
 	t.sumNs.Add(ns)
 	for {
@@ -240,7 +268,7 @@ func (t *Timer) Observe(d time.Duration) {
 			break
 		}
 	}
-	t.reg.Emit(Event{Kind: "span", Name: t.name, DurationNs: ns})
+	return true
 }
 
 // Count returns the number of observations.
@@ -259,11 +287,15 @@ func (t *Timer) Sum() time.Duration {
 	return time.Duration(t.sumNs.Load())
 }
 
-// Span is an in-flight phase measurement. It is a value type: starting a
-// span allocates nothing.
+// Span is an in-flight phase measurement. It is a value type: starting an
+// identity-free span allocates nothing; StartCtx spans additionally carry
+// the trace/span/parent identity threaded through the context.
 type Span struct {
-	t  *Timer
-	t0 time.Time
+	t      *Timer
+	h      *Histogram
+	t0     time.Time
+	sc     SpanContext
+	parent SpanID
 }
 
 // StartSpan opens a span against the timer (which may be nil). The start
@@ -274,12 +306,59 @@ func StartSpan(t *Timer) Span { return Span{t: t, t0: time.Now()} }
 // Start opens a span on the timer; nil-receiver safe.
 func (t *Timer) Start() Span { return StartSpan(t) }
 
-// End closes the span, records it into the timer (when bound and enabled)
-// and returns the measured duration either way, so callers can use one code
-// path for both timing needs.
+// StartCtx opens a span that is a child of ctx's current span (or the root
+// of a fresh trace when ctx carries none) and returns a context carrying the
+// new identity for nested spans. End emits one "span" event stamped with
+// trace_id/span_id/parent_id. On a nil receiver or a disabled registry the
+// span is identity-free and the context is returned unchanged.
+func (t *Timer) StartCtx(ctx context.Context) (Span, context.Context) {
+	if t == nil || !t.reg.enabled.Load() {
+		return Span{t0: time.Now()}, ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc, parent := childSpan(ctx)
+	return Span{t: t, t0: time.Now(), sc: sc, parent: parent}, ContextWithSpan(ctx, sc)
+}
+
+// Context returns the span's identity (zero for identity-free spans).
+func (s Span) Context() SpanContext { return s.sc }
+
+// End closes the span, records it into its timer or histogram (when bound
+// and enabled) and returns the measured duration either way, so callers can
+// use one code path for both timing needs. Identity-carrying spans emit one
+// event with trace correlation; plain timer spans keep the legacy
+// identity-free event.
 func (s Span) End() time.Duration {
 	d := time.Since(s.t0)
-	s.t.Observe(d)
+	if !s.sc.IsValid() {
+		s.t.Observe(d)
+		s.h.Observe(d)
+		return d
+	}
+	ns := d.Nanoseconds()
+	var reg *Registry
+	var name string
+	switch {
+	case s.t != nil:
+		if s.t.record(ns) {
+			reg, name = s.t.reg, s.t.name
+		}
+	case s.h != nil:
+		s.h.Observe(d)
+		if s.h.reg.enabled.Load() {
+			reg, name = s.h.reg, s.h.name
+		}
+	}
+	if reg != nil {
+		e := Event{Kind: "span", Name: name, DurationNs: ns,
+			TraceID: s.sc.Trace.String(), SpanID: s.sc.Span.String()}
+		if s.parent.IsValid() {
+			e.ParentID = s.parent.String()
+		}
+		reg.Emit(e)
+	}
 	return d
 }
 

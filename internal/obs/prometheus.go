@@ -5,13 +5,19 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // series is one rendered sample: a metric name (with labels) and its value.
+// sub and seq order samples inside one family: histograms group their
+// buckets per label set (sub) in ascending-`le` order (seq), which plain
+// lexical name sorting would scramble ("+Inf" sorts before "0.001").
 type series struct {
 	family string // base name grouping HELP/TYPE lines
-	typ    string // counter | gauge | summary
+	typ    string // counter | gauge | summary | histogram
+	sub    string // intra-family group (histogram label set), "" otherwise
+	seq    int    // intra-group order (bucket index), 0 otherwise
 	name   string
 	value  string
 }
@@ -19,11 +25,14 @@ type series struct {
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (v0.0.4): counters and gauges one sample each, timers as a
 // summary-without-quantiles (`_seconds_sum` + `_seconds_count`) plus a
-// `_seconds_max` gauge. Output is sorted by family then sample name, so the
-// rendering is deterministic and diff-friendly.
+// `_seconds_max` gauge, histograms as cumulative `_seconds_bucket{le=...}`
+// series with `_seconds_sum`/`_seconds_count`. Output is sorted by family,
+// label set and bucket order, so the rendering is deterministic and
+// diff-friendly.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
-	rows := make([]series, 0, len(r.counters)+len(r.gauges)+3*len(r.timers))
+	rows := make([]series, 0,
+		len(r.counters)+len(r.gauges)+3*len(r.timers)+(len(DefBuckets)+3)*len(r.histograms))
 	for name, c := range r.counters {
 		rows = append(rows, series{
 			family: familyOf(name), typ: "counter",
@@ -51,6 +60,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				value: formatSeconds(t.maxNs.Load())},
 		)
 	}
+	for name, h := range r.histograms {
+		base, labels := splitLabels(name)
+		fam := base + "_seconds"
+		cum := h.Cumulative()
+		for i, c := range cum {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+			}
+			rows = append(rows, series{family: fam, typ: "histogram",
+				sub: labels, seq: i + 1,
+				name:  fam + "_bucket" + mergeLabel(labels, "le", le),
+				value: fmt.Sprintf("%d", c)})
+		}
+		rows = append(rows,
+			series{family: fam, typ: "histogram",
+				sub: labels, seq: len(cum) + 1,
+				name:  fam + "_sum" + labels,
+				value: formatSeconds(h.sumNs.Load())},
+			series{family: fam, typ: "histogram",
+				sub: labels, seq: len(cum) + 2,
+				name:  fam + "_count" + labels,
+				value: fmt.Sprintf("%d", h.count.Load())},
+		)
+	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
 		help[k] = v
@@ -60,6 +94,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].family != rows[j].family {
 			return rows[i].family < rows[j].family
+		}
+		if rows[i].sub != rows[j].sub {
+			return rows[i].sub < rows[j].sub
+		}
+		if rows[i].seq != rows[j].seq {
+			return rows[i].seq < rows[j].seq
 		}
 		return rows[i].name < rows[j].name
 	})
@@ -121,7 +161,21 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[base+"_seconds_count"+labels] = float64(t.count.Load())
 		out[base+"_seconds_max"+labels] = float64(t.maxNs.Load()) / 1e9
 	}
+	for name, h := range r.histograms {
+		base, labels := splitLabels(name)
+		out[base+"_seconds_sum"+labels] = float64(h.sumNs.Load()) / 1e9
+		out[base+"_seconds_count"+labels] = float64(h.count.Load())
+	}
 	return out
+}
+
+// mergeLabel appends key="value" into an existing `{...}` label suffix (or
+// starts one), used to add `le` to histogram bucket series.
+func mergeLabel(labels, key, value string) string {
+	if labels == "" {
+		return "{" + key + `="` + value + `"}`
+	}
+	return labels[:len(labels)-1] + "," + key + `="` + value + `"}`
 }
 
 // splitLabels separates `name{labels}` into its base name and the `{labels}`

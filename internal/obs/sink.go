@@ -14,12 +14,21 @@ type Event struct {
 	// TimeUnixNano is the wall-clock stamp; Registry.Emit fills it when
 	// zero.
 	TimeUnixNano int64 `json:"t"`
+	// TS is the same wall-clock stamp rendered as RFC 3339 with nanosecond
+	// precision in UTC, for cross-process ordering and human inspection of
+	// JSONL streams; Registry.Emit fills it when empty.
+	TS string `json:"ts,omitempty"`
 	// Kind classifies the event: "span", "solve", "http", ...
 	Kind string `json:"kind"`
 	// Name identifies the span or event source.
 	Name string `json:"name"`
 	// DurationNs is the span length (0 for point events).
 	DurationNs int64 `json:"dur_ns,omitempty"`
+	// TraceID/SpanID/ParentID correlate span events into per-request trees
+	// (hex, W3C trace-context sized). Empty on identity-free events.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
 	// Fields carries numeric payload (counters, scores, sizes).
 	Fields map[string]float64 `json:"fields,omitempty"`
 	// Labels carries string payload (dataset names, request ids).

@@ -1,0 +1,141 @@
+package obswire
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"emp/internal/census"
+	"emp/internal/constraint"
+	"emp/internal/fact"
+	"emp/internal/flight"
+	"emp/internal/obs"
+)
+
+// TestFanoutConcurrent drives one registry with a fan-out over two sinks from
+// many goroutines: both sinks must see every event, and the race detector
+// must stay quiet (Fanout itself is lock-free; safety reduces to the sinks').
+func TestFanoutConcurrent(t *testing.T) {
+	reg := obs.New()
+	reg.SetEnabled(true)
+	a, b := &obs.MemorySink{}, &obs.MemorySink{}
+	reg.SetSink(NewFanout(a, nil, b)) // nils are dropped
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Emit(obs.Event{Kind: "solve", Name: "fanout"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(a.Events()); got != workers*perWorker {
+		t.Errorf("sink a saw %d events, want %d", got, workers*perWorker)
+	}
+	if got := len(b.Events()); got != workers*perWorker {
+		t.Errorf("sink b saw %d events, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSpanTreeRoundTrip is the tracing acceptance path below HTTP: a sharded
+// multi-component solve run under a trace-carrying context emits span events
+// that parse back (emit -> JSONL -> parse -> tree) into a single-trace tree
+// containing the solve root, one sub-solve span per component, and the
+// search-phase spans — all under the root the caller opened.
+func TestSpanTreeRoundTrip(t *testing.T) {
+	ds, err := census.Generate(census.Options{Name: "3comp", Areas: 360, States: 3, Components: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := constraint.Set{constraint.AtLeast(constraint.Sum, census.AttrTotalPop, 25000)}
+
+	reg := obs.New()
+	reg.SetEnabled(true)
+	var buf bytes.Buffer
+	reg.SetSink(obs.NewJSONLSink(&buf))
+	Enable(reg)
+	defer Enable(nil)
+
+	rootSpan, ctx := reg.Histogram(`emp_request_duration{path="/solve"}`, "h", nil).StartCtx(context.Background())
+	want := rootSpan.Context()
+	res, err := fact.SolveCtx(ctx, ds, set, fact.Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.Shards != 3 {
+		t.Fatalf("Shards = %d, want 3 (sharded path must run)", res.Shards)
+	}
+	rootSpan.End()
+
+	byTrace, order, err := flight.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 {
+		t.Fatalf("events span %d traces, want exactly 1: %v", len(order), order)
+	}
+	if order[0] != want.Trace.String() {
+		t.Fatalf("trace id %s, want the request root's %s", order[0], want.Trace)
+	}
+	spans := byTrace[order[0]]
+
+	count := func(name string) int {
+		n := 0
+		for _, s := range spans {
+			if s.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("emp_solve_duration"); got != 1 {
+		t.Errorf("emp_solve_duration spans = %d, want 1 (the solve root)", got)
+	}
+	if got := count("emp_shard_solve_duration"); got != 3 {
+		t.Errorf("emp_shard_solve_duration spans = %d, want one per component", got)
+	}
+	if got := count("emp_tabu_improve_duration"); got != 3 {
+		t.Errorf("emp_tabu_improve_duration spans = %d, want one per sub-solve", got)
+	}
+
+	tree := flight.BuildTree(spans)
+	if len(tree) != 1 {
+		t.Fatalf("span forest has %d roots, want 1:\n%+v", len(tree), tree)
+	}
+	root := tree[0]
+	if !strings.HasPrefix(root.Name, "emp_request_duration") {
+		t.Fatalf("tree root = %q, want the request span", root.Name)
+	}
+	// Walk: request -> solve -> shard phase -> 3 sub-solves, each containing
+	// its own phase spans and a tabu span.
+	var find func(n *flight.SpanNode, name string) []*flight.SpanNode
+	find = func(n *flight.SpanNode, name string) []*flight.SpanNode {
+		var out []*flight.SpanNode
+		if n.Name == name {
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			out = append(out, find(c, name)...)
+		}
+		return out
+	}
+	solveRoots := find(root, "emp_solve_duration")
+	if len(solveRoots) != 1 {
+		t.Fatalf("solve root not under the request span: %d found", len(solveRoots))
+	}
+	subs := find(solveRoots[0], "emp_shard_solve_duration")
+	if len(subs) != 3 {
+		t.Fatalf("%d sub-solve spans under the solve root, want 3", len(subs))
+	}
+	for i, sub := range subs {
+		if n := len(find(sub, "emp_tabu_improve_duration")); n != 1 {
+			t.Errorf("sub-solve %d has %d tabu spans, want 1", i, n)
+		}
+	}
+}

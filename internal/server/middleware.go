@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"emp/internal/obs"
 )
 
 // ctxKey namespaces the package's context values.
@@ -81,24 +83,49 @@ func routeLabel(path string) string {
 	case "/solve", "/datasets", "/healthz", "/readyz", "/metrics":
 		return path
 	default:
+		if strings.HasPrefix(path, "/debug/") {
+			return "/debug"
+		}
 		return "other"
 	}
 }
 
 // instrument wraps the handler with the in-flight gauge, per-route request
-// counters and duration timers, and the optional access log.
+// counters, duration timers and latency histograms, the optional access log,
+// and W3C trace-context propagation: a valid incoming `traceparent` header
+// makes the request span a child of the caller's span (same trace id);
+// otherwise the request starts a fresh trace. Either way the response echoes
+// the request span's identity in `traceparent`, so clients can fetch
+// `/v1/debug/trace/{trace_id}` for the solve they just ran.
 func (s *service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		route := routeLabel(r.URL.Path)
+		ctx := r.Context()
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if sc, err := obs.ParseTraceparent(tp); err == nil {
+				ctx = obs.ContextWithSpan(ctx, sc)
+			}
+		}
+		// The request span is the trace root (or the caller's child): it
+		// feeds the per-route emp_request_duration histogram and hands its
+		// identity down to the solve via the request context.
+		reqSpan, ctx := s.reg.Histogram(
+			fmt.Sprintf("emp_request_duration{path=%q}", route),
+			"HTTP request latency distribution by route.", nil,
+		).StartCtx(ctx)
+		if sc := reqSpan.Context(); sc.IsValid() {
+			w.Header().Set("traceparent", sc.Traceparent())
+		}
 		span := s.reg.Timer(
 			fmt.Sprintf("emp_http_request_duration{path=%q}", route),
 			"Wall time of HTTP requests by route.",
 		).Start()
 		rec := &statusRecorder{ResponseWriter: w}
-		next.ServeHTTP(rec, r)
+		next.ServeHTTP(rec, r.WithContext(ctx))
 		dur := span.End()
+		reqSpan.End()
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}

@@ -21,7 +21,9 @@ import (
 	"emp/internal/census"
 	"emp/internal/constraint"
 	"emp/internal/fact"
+	"emp/internal/flight"
 	"emp/internal/obs"
+	"emp/internal/obswire"
 	"emp/internal/region"
 	"emp/internal/solvecache"
 )
@@ -60,6 +62,13 @@ type Config struct {
 	// timeout run under it as the default deadline. 0 means
 	// DefaultMaxSolveTimeout.
 	MaxSolveTimeout time.Duration
+	// FlightRecorderBytes budgets the flight-recorder store retaining the
+	// span trees and convergence curves of recent solves for /v1/debug/*;
+	// 0 means DefaultFlightRecorderBytes.
+	FlightRecorderBytes int64
+	// FlightRecorderTraces caps how many finished solves the store retains;
+	// 0 means DefaultFlightRecorderTraces.
+	FlightRecorderTraces int
 }
 
 // DefaultMaxBodyBytes is the POST /solve body limit when Config.MaxBodyBytes
@@ -79,6 +88,11 @@ const (
 	// enough for a cold 50k-area sharded solve, small enough that a wedged
 	// solve cannot hold a worker slot forever.
 	DefaultMaxSolveTimeout = 5 * time.Minute
+	// DefaultFlightRecorderBytes budgets the flight-recorder store: dozens
+	// of retained solves at a few tens of KB each.
+	DefaultFlightRecorderBytes = 8 << 20
+	// DefaultFlightRecorderTraces caps retained finished solves.
+	DefaultFlightRecorderTraces = 64
 )
 
 // service carries the handler state.
@@ -105,6 +119,11 @@ type service struct {
 	shardPool *solvecache.Pool
 	dedups    *obs.Counter
 	cancels   *obs.Counter
+
+	// fstore retains flight recorders and span events of recent solves for
+	// the /v1/debug/ introspection endpoints. It receives events as one arm
+	// of the registry's sink fan-out.
+	fstore *flight.Store
 }
 
 // SolveRequest is the POST /solve body.
@@ -284,10 +303,17 @@ func New(cfg Config) *Service {
 	s.sched = solvecache.NewScheduler(cfg.Workers, cfg.QueueDepth, cfg.QueueWait, solvecache.SchedulerMetrics{
 		Depth:     reg.Gauge("emp_solve_queue_depth", "Solves currently waiting for a worker slot."),
 		Wait:      reg.Timer("emp_solve_queue_wait_duration", "Time solves spend queued for a worker slot."),
+		WaitHist:  reg.Histogram("emp_solve_queue_wait", "Queue-wait latency distribution.", nil),
 		Rejected:  reg.Counter("emp_solve_queue_rejected_total", "Solves shed with 429 because the queue was full or the wait budget elapsed."),
 		Abandoned: reg.Counter("emp_solve_queue_abandoned_total", "Queued solves whose context was cancelled before a slot freed."),
 	})
 	s.shardPool = solvecache.NewPool(s.sched.Workers())
+	s.fstore = flight.NewStore(cfg.FlightRecorderBytes, cfg.FlightRecorderTraces)
+	// The flight store listens on the registry sink alongside whatever sink is
+	// already wired (obswire's JSONL stream, a test capture, or none): span
+	// events flow to both, so recorded traces match what external consumers
+	// see. Fanout drops nil arms, so an unwired registry just gets the store.
+	reg.SetSink(obswire.NewFanout(reg.Sink(), s.fstore))
 	mux := http.NewServeMux()
 	// The canonical surface lives under /v1/; the bare paths stay mounted as
 	// aliases for pre-versioning clients. Both prefixes hit the same
@@ -300,6 +326,12 @@ func New(cfg Config) *Service {
 		mux.HandleFunc(prefix+"/solve", s.handleSolve)
 		mux.Handle(prefix+"/metrics", reg.MetricsHandler())
 	}
+	// Introspection mounts only under the versioned prefix: the bare /debug/
+	// namespace traditionally belongs to pprof (cmd/empserve serves it on a
+	// separate listener), so aliasing there would invite collisions.
+	mux.HandleFunc("/v1/debug/solves", s.handleDebugSolves)
+	mux.HandleFunc("/v1/debug/trace/", s.handleDebugTrace)
+	mux.HandleFunc("/v1/debug/cache", s.handleDebugCache)
 	// Request-id first so the instrument layer (access log) sees the id.
 	return &Service{s: s, handler: withRequestID(s.instrument(mux))}
 }
@@ -422,7 +454,14 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeSolveResponse(w, r, v.(*SolveResponse))
 		return
 	}
+	// The flight's context is detached from the request (followers may outlive
+	// the leader), so it carries no request values; re-attach the leader's span
+	// identity explicitly or the solve's spans would start a disconnected trace.
+	sc := obs.SpanContextFrom(r.Context())
 	v, shared, err := s.flights.Do(r.Context(), fp, func(fctx context.Context) (any, error) {
+		if sc.IsValid() {
+			fctx = obs.ContextWithSpan(fctx, sc)
+		}
 		return s.runSolve(fctx, &req, set, cfg, fp), nil
 	})
 	if shared {

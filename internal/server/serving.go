@@ -14,6 +14,8 @@ import (
 	"emp/internal/data"
 	"emp/internal/fact"
 	"emp/internal/fault"
+	"emp/internal/flight"
+	"emp/internal/obs"
 	"emp/internal/prep"
 	"emp/internal/solvecache"
 )
@@ -185,6 +187,17 @@ func prepArtifact(ds *data.Dataset) (*prep.Artifact, error) {
 // singleflight leader; ctx is the flight context, cancelled only when every
 // interested client has disconnected.
 func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constraint.Set, cfg fact.Config, fp string) *solveOutcome {
+	// Register the flight recorder before queueing so /v1/debug/solves shows
+	// the solve (phase "queued") the moment it is admitted to the flight, and
+	// thread it through the context so the solver phases feed it samples.
+	dsLabel := req.Named
+	if dsLabel == "" {
+		dsLabel = "inline"
+	}
+	trace := obs.SpanContextFrom(ctx).Trace
+	rec := s.fstore.Begin(trace, dsLabel)
+	defer s.fstore.Finish(trace)
+	ctx = flight.NewContext(ctx, rec)
 	release, err := s.sched.Acquire(ctx)
 	if err != nil {
 		if errors.Is(err, solvecache.ErrOverloaded) {

@@ -31,6 +31,9 @@ type LRU struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	met   CacheMetrics
+	// Own hit/miss/eviction tallies, independent of the optional registry
+	// hooks, so introspection endpoints can report rates without a registry.
+	hits, misses, evictions int64
 }
 
 // lruEntry is the list payload.
@@ -71,12 +74,14 @@ func (c *LRU) Get(key string) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses++
 		m := c.met.Misses
 		c.mu.Unlock()
 		m.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
+	c.hits++
 	v := el.Value.(*lruEntry).val
 	m := c.met.Hits
 	c.mu.Unlock()
@@ -116,10 +121,44 @@ func (c *LRU) Add(key string, val any, cost int64) {
 		c.cost -= e.cost
 		evicted++
 	}
+	c.evictions += evicted
 	ev, cg, total := c.met.Evictions, c.met.Cost, c.cost
 	c.mu.Unlock()
 	ev.Add(evicted)
 	cg.Set(total)
+}
+
+// LRUStats is a point-in-time occupancy and hit-rate snapshot, serialized by
+// the server's /v1/debug/cache endpoint.
+type LRUStats struct {
+	Entries    int     `json:"entries"`
+	CostBytes  int64   `json:"cost_bytes"`
+	BoundBytes int64   `json:"bound_bytes"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Evictions  int64   `json:"evictions"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the cache. A nil (disabled) cache reports zeros.
+func (c *LRU) Stats() LRUStats {
+	if c == nil {
+		return LRUStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := LRUStats{
+		Entries:    c.ll.Len(),
+		CostBytes:  c.cost,
+		BoundBytes: c.bound,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+	}
+	if lookups := c.hits + c.misses; lookups > 0 {
+		st.HitRate = float64(c.hits) / float64(lookups)
+	}
+	return st
 }
 
 // Len returns the number of cached entries.

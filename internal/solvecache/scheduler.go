@@ -22,6 +22,9 @@ type SchedulerMetrics struct {
 	Depth *obs.Gauge
 	// Wait times how long admitted and rejected callers sat in the queue.
 	Wait *obs.Timer
+	// WaitHist is the queue-wait latency distribution (same observations as
+	// Wait, rendered as Prometheus histogram buckets).
+	WaitHist *obs.Histogram
 	// Rejected counts ErrOverloaded outcomes (queue full or budget spent).
 	Rejected *obs.Counter
 	// Abandoned counts callers whose context ended while queued.
@@ -118,14 +121,14 @@ func (s *Scheduler) Acquire(ctx context.Context) (release func(), err error) {
 	defer timer.Stop()
 	select {
 	case s.slots <- struct{}{}:
-		span.End()
+		s.met.WaitHist.Observe(span.End())
 		return s.release, nil
 	case <-timer.C:
-		span.End()
+		s.met.WaitHist.Observe(span.End())
 		s.met.Rejected.Inc()
 		return nil, ErrOverloaded
 	case <-ctx.Done():
-		span.End()
+		s.met.WaitHist.Observe(span.End())
 		s.met.Abandoned.Inc()
 		return nil, ctx.Err()
 	}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"emp/internal/fault"
+	"emp/internal/flight"
 	"emp/internal/region"
 )
 
@@ -209,13 +210,17 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	if cfg.Tenure <= 0 {
 		cfg.Tenure = 10
 	}
-	sp := met.span.Start()
+	// The span inherits the solve's trace identity from cfg.Ctx (when obs is
+	// bound and carrying one), so the search phase shows up as a child in the
+	// reconstructed span tree; the flight recorder rides the same context.
+	sp, _ := met.span.StartCtx(cfg.Ctx)
 	if cfg.Fallback {
 		stats := improveFallback(p, cfg)
 		sp.End()
 		flushRun(&stats, true, p)
 		return stats
 	}
+	rec := flight.FromContext(cfg.Ctx)
 	obj := cfg.Objective
 	if obj == nil {
 		obj = Heterogeneity{}
@@ -263,6 +268,9 @@ func Improve(p *region.Partition, cfg Config) Stats {
 			stats.Improvements++
 			noImprove = 0
 			undo = undo[:0] // commit: current state is the new best
+			// New incumbent: one flight-recorder sample (H is the objective
+			// score — exact heterogeneity under the default objective).
+			rec.Improve(p.NumRegions(), best, stats.Moves)
 		} else {
 			noImprove++
 		}
