@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-fault bench-prep
+.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-cut bench-fault bench-prep
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,13 @@ bench-serve:
 # check). Speedup tracks GOMAXPROCS; see docs/SHARDING.md.
 bench-shard:
 	$(GO) run ./cmd/empbench -benchshard
+
+# bench-cut regenerates BENCH_cut.json (whole-graph solve vs the cut-sharded
+# solve at 1/2/4 workers on the paper-sized single-component 50k1 dataset,
+# with the p / heterogeneity gap and the cross-worker determinism check).
+# Speedup beyond the serial decomposition needs cores; see docs/SHARDING.md.
+bench-cut:
+	$(GO) run ./cmd/empbench -benchcut -scale 1
 
 # bench-fault regenerates BENCH_fault.json (graceful degradation under
 # shrinking deadlines, shard-panic survival, transient-failure retries). The

@@ -41,6 +41,7 @@ func main() {
 		benchObs   = flag.Bool("benchobs", false, "run the telemetry overhead benchmark and write BENCH_obs.json")
 		benchServe = flag.Bool("benchserve", false, "run the serving throughput benchmark and write BENCH_serve.json")
 		benchShard = flag.Bool("benchshard", false, "run the component-sharding benchmark and write BENCH_shard.json")
+		benchCut   = flag.Bool("benchcut", false, "run the cut-sharding benchmark and write BENCH_cut.json")
 		benchFault = flag.Bool("benchfault", false, "run the fault-injection/degradation benchmark and write BENCH_fault.json")
 		benchPrep  = flag.Bool("benchprep", false, "run the prepared-dataset artifact benchmark and write BENCH_prep.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
@@ -100,6 +101,20 @@ func main() {
 			res.LegacySeconds, res.SeqSeconds, res.ShardWorkers, res.ShardSeconds,
 			res.Speedup, res.IdenticalAcrossWorkers)
 		fmt.Println("wrote BENCH_shard.json")
+		return
+	}
+	if *benchCut {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteCutBench(cfg, "BENCH_cut.json")
+		if err != nil {
+			log.Fatalf("benchcut: %v", err)
+		}
+		fmt.Printf("cut on %s (%d areas, %d shards, GOMAXPROCS %d): whole %.3fs p=%d", res.Dataset, res.Areas, res.CutShards, res.GoMaxProcs, res.WholeSeconds, res.WholeP)
+		for _, leg := range res.Legs {
+			fmt.Printf("; w=%d %.3fs (%.2fx)", leg.Workers, leg.Seconds, leg.Speedup)
+		}
+		fmt.Printf("; cut p=%d, H gap %+.1f%%, identical=%v\n", res.CutP, res.HeteroGapPct, res.IdenticalAcrossWorkers)
+		fmt.Println("wrote BENCH_cut.json")
 		return
 	}
 	if *benchFault {

@@ -45,6 +45,11 @@
 // Datasets with several connected components are solved component-by-
 // component on a process-wide worker pool (docs/SHARDING.md); the
 // "options" object accepts "shard_off" and "shard_workers" to steer it.
+// Large single-component datasets can opt into cut-based sharding with
+// "cut_shards" (>= 2 slices the graph along low-connectivity cuts, solves
+// the parts concurrently and repairs the stitch seams; result-affecting,
+// so it splits the cache fingerprint) and "cut_workers" (pool size,
+// result-neutral).
 //
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ and the expvar JSON (including an "emp" metrics snapshot)

@@ -55,27 +55,53 @@ type DatasetSize struct {
 	Components int
 }
 
-// Sizes lists the nine evaluation datasets. Keys are the names used
-// throughout the paper ("1k" ... "50k").
+// Sizes lists the nine evaluation datasets plus the single-component
+// variants of the large ones. Keys "1k" ... "50k" are the names used
+// throughout the paper; the "Nk1" presets keep the same area and state
+// counts but lay every state out grid-connected in one component — the
+// shape cut-based sharding targets, where component sharding has nothing
+// to split.
 var Sizes = map[string]DatasetSize{
-	"1k":  {Areas: 1012, States: 1, Components: 1},
-	"2k":  {Areas: 2344, States: 1, Components: 1},
-	"4k":  {Areas: 3947, States: 1, Components: 1},
-	"8k":  {Areas: 8049, States: 1, Components: 2},
-	"10k": {Areas: 10255, States: 3, Components: 2},
-	"20k": {Areas: 20570, States: 13, Components: 3},
-	"30k": {Areas: 29887, States: 18, Components: 3},
-	"40k": {Areas: 40214, States: 25, Components: 4},
-	"50k": {Areas: 49943, States: 30, Components: 5},
+	"1k":   {Areas: 1012, States: 1, Components: 1},
+	"2k":   {Areas: 2344, States: 1, Components: 1},
+	"4k":   {Areas: 3947, States: 1, Components: 1},
+	"8k":   {Areas: 8049, States: 1, Components: 2},
+	"10k":  {Areas: 10255, States: 3, Components: 2},
+	"20k":  {Areas: 20570, States: 13, Components: 3},
+	"30k":  {Areas: 29887, States: 18, Components: 3},
+	"40k":  {Areas: 40214, States: 25, Components: 4},
+	"50k":  {Areas: 49943, States: 30, Components: 5},
+	"30k1": {Areas: 29887, States: 18, Components: 1},
+	"40k1": {Areas: 40214, States: 25, Components: 1},
+	"50k1": {Areas: 49943, States: 30, Components: 1},
 }
 
-// SizeNames returns the dataset names ordered by area count.
+// paperNames lists the paper's nine Table I datasets in area order; the
+// single-component variants are deliberately absent.
+var paperNames = []string{"1k", "2k", "4k", "8k", "10k", "20k", "30k", "40k", "50k"}
+
+// PaperSizeNames returns the paper's nine dataset names ordered by area
+// count, excluding the synthetic single-component "Nk1" variants. Use this
+// for reproductions of the paper's tables; use SizeNames for the full
+// generator inventory.
+func PaperSizeNames() []string {
+	return append([]string(nil), paperNames...)
+}
+
+// SizeNames returns the dataset names ordered by area count, ties broken by
+// name so the listing is stable (the "Nk1" single-component variants share
+// their base preset's area count).
 func SizeNames() []string {
 	names := make([]string, 0, len(Sizes))
 	for n := range Sizes {
 		names = append(names, n)
 	}
-	sort.Slice(names, func(i, j int) bool { return Sizes[names[i]].Areas < Sizes[names[j]].Areas })
+	sort.Slice(names, func(i, j int) bool {
+		if Sizes[names[i]].Areas != Sizes[names[j]].Areas {
+			return Sizes[names[i]].Areas < Sizes[names[j]].Areas
+		}
+		return names[i] < names[j]
+	})
 	return names
 }
 

@@ -10,16 +10,42 @@ import (
 
 func TestSizeNamesOrdered(t *testing.T) {
 	names := SizeNames()
-	if len(names) != 9 {
-		t.Fatalf("got %d names, want 9", len(names))
+	if len(names) != 12 {
+		t.Fatalf("got %d names, want 12", len(names))
 	}
 	for i := 1; i < len(names); i++ {
-		if Sizes[names[i-1]].Areas >= Sizes[names[i]].Areas {
-			t.Errorf("names not ordered by size at %d: %v", i, names)
+		a, b := Sizes[names[i-1]], Sizes[names[i]]
+		if a.Areas > b.Areas || (a.Areas == b.Areas && names[i-1] >= names[i]) {
+			t.Errorf("names not ordered by (size, name) at %d: %v", i, names)
 		}
 	}
-	if names[0] != "1k" || names[8] != "50k" {
+	if names[0] != "1k" || names[len(names)-1] != "50k1" {
 		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSingleComponentPresets(t *testing.T) {
+	for _, name := range []string{"30k1", "40k1", "50k1"} {
+		base := Sizes[name[:len(name)-1]]
+		sz, ok := Sizes[name]
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if sz.Areas != base.Areas || sz.States != base.States {
+			t.Errorf("%s = %+v, want areas/states of %+v", name, sz, base)
+		}
+		if sz.Components != 1 {
+			t.Errorf("%s has %d components, want 1", name, sz.Components)
+		}
+	}
+	// The layout must actually deliver one connected component (scaled down
+	// to keep the test fast; Scaled preserves the component structure).
+	d, err := Scaled("30k1", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Components(); got != 1 {
+		t.Errorf("30k1 generated %d components, want 1", got)
 	}
 }
 

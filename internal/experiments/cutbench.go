@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"emp/internal/constraint"
+	"emp/internal/fact"
+)
+
+// cutBenchShards is the cut_shards value the benchmark pins. Sixteen parts
+// of the 50k-area dataset keep each sub-instance around 3k areas: small
+// enough that the per-shard working set is cache-resident and the plan's
+// critical path is short, large enough that every shard yields full regions
+// under the benchmark threshold.
+const cutBenchShards = 16
+
+// CutBenchLeg is one timed cut-sharded solve at a fixed worker count.
+type CutBenchLeg struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	// Speedup is WholeSeconds / Seconds: the wall-clock win over the
+	// whole-graph solve at this worker count.
+	Speedup float64 `json:"speedup"`
+}
+
+// CutBenchResult is the JSON artifact written by `empbench -benchcut`: the
+// cut-sharded solve against the whole-graph solve on the largest
+// single-component census dataset ("50k1"), same seed and constraints. The
+// cut legs run the identical plan with 1, 2 and 4 workers, so the speedup
+// column shows how the decomposition scales with cores; on a single-CPU
+// host every leg honestly reports ~the serial decomposition cost and
+// GoMaxProcs records which regime produced the artifact. Quality is
+// compared directly: CutP must never fall below WholeP, and HeteroGapPct
+// states the seam cost plainly (negative means the cut solve ended with
+// the better objective).
+type CutBenchResult struct {
+	Dataset      string        `json:"dataset"`
+	Areas        int           `json:"areas"`
+	Constraints  string        `json:"constraints"`
+	CutShards    int           `json:"cut_shards"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	WholeSeconds float64       `json:"whole_seconds"`
+	WholeP       int           `json:"whole_p"`
+	WholeHetero  float64       `json:"whole_hetero"`
+	Legs         []CutBenchLeg `json:"legs"`
+	CutP         int           `json:"cut_p"`
+	CutHetero    float64       `json:"cut_hetero"`
+	// CutUnassigned counts areas no region could absorb after seam repair
+	// (0 on every healthy run).
+	CutUnassigned int `json:"cut_unassigned"`
+	SeamMoves     int `json:"seam_moves"`
+	// HeteroGapPct is (CutHetero - WholeHetero) / WholeHetero * 100.
+	HeteroGapPct float64 `json:"hetero_gap_pct"`
+	// IdenticalAcrossWorkers is true when every worker count produced the
+	// same assignment for every area: the determinism contract.
+	IdenticalAcrossWorkers bool `json:"identical_across_workers"`
+}
+
+// CutBench times the whole-graph solve and the cut-sharded solve at 1, 2
+// and 4 workers on the "50k1" dataset (scaled by cfg.Scale like every other
+// experiment; -scale 1 reproduces the paper-sized 49943-area instance).
+func CutBench(cfg Config) (*CutBenchResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset(cfg, "50k1")
+	if err != nil {
+		return nil, err
+	}
+	set, err := constraint.ParseSet("SUM(TOTALPOP) >= 100000")
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	solve := func(c fact.Config) (*fact.Result, float64, error) {
+		start := time.Now()
+		res, err := fact.SolveCtx(ctx, ds, set, c)
+		return res, time.Since(start).Seconds(), err
+	}
+
+	whole, wholeSec, err := solve(fact.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("cutbench: whole-graph solve: %w", err)
+	}
+
+	out := &CutBenchResult{
+		Dataset:      ds.Name,
+		Areas:        ds.N(),
+		Constraints:  set.String(),
+		CutShards:    cutBenchShards,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		WholeSeconds: wholeSec,
+		WholeP:       whole.P,
+		WholeHetero:  whole.HeteroAfter,
+	}
+
+	var ref []int
+	identical := true
+	for _, workers := range []int{1, 2, 4} {
+		res, sec, err := solve(fact.Config{
+			Seed:       cfg.Seed,
+			CutShards:  cutBenchShards,
+			CutWorkers: workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cutbench: cut solve (%d workers): %w", workers, err)
+		}
+		leg := CutBenchLeg{Workers: workers, Seconds: sec}
+		if sec > 0 {
+			leg.Speedup = wholeSec / sec
+		}
+		out.Legs = append(out.Legs, leg)
+		assign := shardBenchAssignment(res, ds.N())
+		if ref == nil {
+			ref = assign
+			out.CutP = res.P
+			out.CutHetero = res.HeteroAfter
+			out.CutUnassigned = res.Unassigned
+			out.SeamMoves = res.SeamMoves
+		} else {
+			for i := range assign {
+				if assign[i] != ref[i] {
+					identical = false
+					break
+				}
+			}
+		}
+	}
+	out.IdenticalAcrossWorkers = identical
+	if out.WholeHetero > 0 {
+		out.HeteroGapPct = (out.CutHetero - out.WholeHetero) / out.WholeHetero * 100
+	}
+	return out, nil
+}
+
+// WriteCutBench runs CutBench and writes the JSON artifact.
+func WriteCutBench(cfg Config, path string) (*CutBenchResult, error) {
+	res, err := CutBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("cutbench: %w", err)
+	}
+	return res, nil
+}

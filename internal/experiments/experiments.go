@@ -221,7 +221,7 @@ func Table1Datasets(cfg Config) ([]Table, error) {
 		Title:  "Evaluation datasets (synthetic census substrate)",
 		Header: []string{"name", "areas(paper)", "areas(run)", "states", "components", "gen_time"},
 	}
-	for _, name := range census.SizeNames() {
+	for _, name := range census.PaperSizeNames() {
 		sz := census.Sizes[name]
 		start := time.Now()
 		ds, err := dataset(cfg, name)

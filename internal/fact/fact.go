@@ -97,6 +97,22 @@ type Config struct {
 	// merge order is the component order, not the completion order).
 	// Ignored when ShardPool is set.
 	ShardWorkers int
+	// CutShards, when >= 2, opts the solve into cut-based sharding: the
+	// dataset is sliced into up to CutShards balanced sub-instances along
+	// low-connectivity cuts (shard.NewCutPlan), the sub-instances are solved
+	// concurrently, and a boundary-repair pass fixes the stitch seams. Unlike
+	// component sharding the cut changes the search trajectory, so results
+	// differ from the whole-graph solve (the knob is fingerprinted by the
+	// serving layer); they are still deterministic per (dataset, constraints,
+	// config) and independent of CutWorkers. 0 (the default) and 1 leave the
+	// solve on its normal path; ShardOff disables cut sharding too. See
+	// docs/SHARDING.md.
+	CutShards int
+	// CutWorkers bounds the concurrency of cut-shard sub-solves. 0 means
+	// GOMAXPROCS; 1 solves them sequentially with identical results (the
+	// merge and repair order is the shard order, never the completion
+	// order). Ignored when ShardPool is set.
+	CutWorkers int
 	// ShardPool, when non-nil, supplies the worker slots for sub-solves
 	// instead of a private pool. Servers share one pool across concurrent
 	// requests so the aggregate shard fan-out respects one global budget.
@@ -187,9 +203,19 @@ type Result struct {
 	// Iterations is the number of construction iterations executed (summed
 	// over shards for sharded solves).
 	Iterations int
-	// Shards is the number of connected-component sub-solves; 0 when the
-	// solve ran on the whole dataset (single component or ShardOff).
+	// Shards is the number of sub-solves (connected components, or cut
+	// shards in cut mode); 0 when the solve ran on the whole dataset
+	// (single component or ShardOff).
 	Shards int
+	// CutShards is the number of cut-partition sub-instances the solve was
+	// decomposed into; 0 when cut sharding was off or did not engage.
+	CutShards int
+	// SeamMoves counts the boundary-repair pass's accepted moves (cut mode
+	// only); they are included in TabuMoves as well.
+	SeamMoves int
+	// SeamRepairTime is the wall time of the boundary-repair pass (cut mode
+	// only); it is included in LocalSearchTime as well.
+	SeamRepairTime time.Duration
 	// Warnings lists solve-level findings beyond the feasibility report,
 	// e.g. components proven individually infeasible whose areas were left
 	// unassigned, or phases cut short by a deadline.
@@ -261,6 +287,9 @@ func SolveCtx(ctx context.Context, ds *data.Dataset, set constraint.Set, cfg Con
 	// becomes a descendant through the derived context.
 	solveSpan, ctx := met.histSolve.StartCtx(ctx)
 	defer solveSpan.End()
+	if !cfg.ShardOff && cfg.CutShards > 1 {
+		return solveCut(ctx, ds, set, ev, cfg)
+	}
 	if !cfg.ShardOff && ds.Components() > 1 {
 		return solveSharded(ctx, ds, set, ev, cfg)
 	}

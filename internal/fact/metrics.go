@@ -18,8 +18,13 @@ type pkgMetrics struct {
 	spanSearch      *obs.Timer
 	spanShard       *obs.Timer
 	spanShardSolve  *obs.Timer
+	spanCut         *obs.Timer
+	spanSeam        *obs.Timer
 	shardSolves     *obs.Counter
 	shardInfeasible *obs.Counter
+	cutSolves       *obs.Counter
+	cutShards       *obs.Counter
+	seamMoves       *obs.Counter
 	// histSolve and histShard are the end-to-end latency distributions: the
 	// root solve span (one per SolveCtx call, whole or sharded) and the
 	// per-component sub-solve span. Their StartCtx spans also carry the
@@ -62,6 +67,16 @@ func SetMetrics(r *obs.Registry) {
 			"Connected-component sub-solves executed by the sharded pipeline."),
 		shardInfeasible: r.Counter("emp_shard_infeasible_total",
 			"Sub-solves whose component was individually infeasible (areas left unassigned)."),
+		spanCut: r.Timer(`emp_solve_phase_duration{phase="cut"}`,
+			"Wall time of the multilevel cut partitioner (cut-sharded solves)."),
+		spanSeam: r.Timer(`emp_solve_phase_duration{phase="seam_repair"}`,
+			"Wall time of the boundary-repair pass that stitches cut-shard seams."),
+		cutSolves: r.Counter("emp_cut_solves_total",
+			"Solves that ran the cut-sharded pipeline (CutShards >= 2 and the partitioner produced a real split)."),
+		cutShards: r.Counter("emp_cut_shards_total",
+			"Cut-partition sub-instances solved across all cut-sharded solves."),
+		seamMoves: r.Counter("emp_seam_moves_total",
+			"Accepted moves of the seam-repair Tabu pass (cut-sharded solves)."),
 		histSolve: r.Histogram("emp_solve_duration",
 			"End-to-end fact.Solve latency distribution (root solve span).", nil),
 		histShard: r.Histogram("emp_shard_duration",
@@ -89,6 +104,8 @@ func emitSolveEvent(res *Result, localSearch string) {
 			"moves":          float64(res.TabuMoves),
 			"improvements":   float64(res.Improvements),
 			"shards":         float64(res.Shards),
+			"cut_shards":     float64(res.CutShards),
+			"seam_moves":     float64(res.SeamMoves),
 			"feasibility_ns": float64(res.FeasibilityTime.Nanoseconds()),
 			"construct_ns":   float64(res.ConstructionTime.Nanoseconds()),
 			"search_ns":      float64(res.LocalSearchTime.Nanoseconds()),

@@ -105,133 +105,14 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 	if pool == nil {
 		pool = solvecache.NewPool(cfg.ShardWorkers)
 	}
-	subs := make([]*Result, len(plan.Shards))
-	failMsgs := make([]string, len(plan.Shards))
-	runErr := shard.Run(ctx, len(plan.Shards), pool, func(i int) error {
-		sub := cfg
-		sub.ShardPool = nil
-		sub.ShardWorkers = 0
-		sub.Seed = shardSeed(cfg.Seed, i)
-		// The parent artifact indexes by global area ids; hand each shard
-		// its own sub-artifact (or nothing).
-		sub.Prepared = nil
-		if subArts != nil {
-			sub.Prepared = subArts[i]
-		}
-		subEv, err := constraint.NewEvaluator(set, plan.Shards[i].Dataset.Column)
-		if err != nil {
-			return err
-		}
-		// Sub-solves go straight to solveWhole (a shard is one component;
-		// no recursion) with asShard set: the shard counters below account
-		// for them, the merged result emits the one solve event. Each shard
-		// retries transient failures (recovered panics, injected transients)
-		// with capped, jittered backoff before giving up on the component.
-		policy := shardRetryPolicy
-		policy.Seed = shardSeed(cfg.Seed, i)
-		attempt := 0
-		err = fault.Retry(ctx, policy, func() error {
-			if attempt++; attempt > 1 {
-				met.shardRetries.Inc()
-			}
-			span, attemptCtx := met.spanShardSolve.StartCtx(shardCtx)
-			r, err := solveShardAttempt(attemptCtx, i, plan.Shards[i].Dataset, subEv, sub)
-			d := span.End()
-			met.histShard.Observe(d)
-			met.shardSolves.Inc()
-			if errors.Is(err, ErrInfeasible) {
-				// Component-level infeasibility is not fatal: the areas stay
-				// unassigned, like any area no feasible region covers.
-				met.shardInfeasible.Inc()
-				subs[i] = r
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			subs[i] = r
-			return nil
-		})
-		if err == nil {
-			return nil
-		}
-		if errors.Is(err, context.Canceled) {
-			return err // explicit cancellation fails the whole solve
-		}
-		// Exhausted retries, a permanent fault, or a deadline that expired
-		// before this component produced an incumbent: the component is
-		// lost, not the solve. Its areas stay unassigned and the merged
-		// result degrades.
-		failMsgs[i] = fmt.Sprintf("component %d (%d areas) dropped after %d attempt(s): %v; its areas are left unassigned",
-			i, plan.Shards[i].Dataset.N(), attempt, err)
-		return nil
-	})
-	if runErr != nil && !errors.Is(runErr, context.DeadlineExceeded) {
-		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, canceled(err)
-		}
-		return nil, runErr
-	}
-	if err := ctx.Err(); err != nil {
-		if !errors.Is(err, context.DeadlineExceeded) {
-			return nil, canceled(err)
-		}
-		// The deadline expired mid-run. Serve whatever components finished;
-		// with none there is nothing to degrade to.
-		contributed := false
-		for _, r := range subs {
-			if r != nil && r.Partition != nil {
-				contributed = true
-				break
-			}
-		}
-		if !contributed {
-			return nil, canceled(err)
-		}
-		for i := range subs {
-			if subs[i] == nil && failMsgs[i] == "" {
-				failMsgs[i] = fmt.Sprintf("component %d (%d areas) dropped: deadline exceeded before its sub-solve finished; its areas are left unassigned",
-					i, plan.Shards[i].Dataset.N())
-			}
-		}
+	subs, failMsgs, runErr := runSubSolves(ctx, shardCtx, plan, subArts, set, cfg, pool, "component")
+	if err := settleSubSolves(ctx, ctx, plan, subs, failMsgs, runErr, "component"); err != nil {
+		return nil, err
 	}
 
 	// Merge in component order (deterministic: the plan depends only on the
 	// adjacency, each sub-result only on its shard and seed).
-	perShard := make([][][]int, len(plan.Shards))
-	for i, r := range subs {
-		if failMsgs[i] != "" {
-			// The component was dropped (exhausted retries, permanent fault
-			// or deadline), not proven infeasible: the merged result is
-			// best-effort.
-			res.Warnings = append(res.Warnings, failMsgs[i])
-			res.Degraded = true
-			continue
-		}
-		if r == nil || r.Partition == nil {
-			n := plan.Shards[i].Dataset.N()
-			msg := fmt.Sprintf("component %d (%d areas) is infeasible; its areas are left unassigned", i, n)
-			if r != nil && r.Feasibility != nil && len(r.Feasibility.Reasons) > 0 {
-				msg = fmt.Sprintf("%s: %s", msg, r.Feasibility.Reasons[0])
-			}
-			res.Warnings = append(res.Warnings, msg)
-			continue
-		}
-		if r.Degraded {
-			res.Degraded = true
-		}
-		for _, id := range r.Partition.RegionIDs() {
-			perShard[i] = append(perShard[i], r.Partition.Region(id).Members)
-		}
-		res.Iterations += r.Iterations
-		res.HeteroBefore += r.HeteroBefore
-		res.ConstructionTime += r.ConstructionTime
-		res.LocalSearchTime += r.LocalSearchTime
-		res.TabuMoves += r.TabuMoves
-		res.Improvements += r.Improvements
-		res.Search.Add(r.Search)
-		res.Warnings = append(res.Warnings, r.Warnings...)
-	}
+	perShard := foldSubResults(res, plan, subs, failMsgs, "component")
 	var merged *region.Partition
 	if art != nil {
 		merged, err = region.PartitionFromRegionsShared(art.Shared(), ev, plan.MergeRegions(perShard))
@@ -257,4 +138,159 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 	// Final curve point: the merged (p, H) the caller's response reports.
 	rec.Finish(res.P, res.HeteroAfter)
 	return res, nil
+}
+
+// runSubSolves executes one sub-solve per plan shard on the pool, shared by
+// the component-sharded and cut-sharded pipelines. Each shard gets a seed
+// mixed from (cfg.Seed, index) and its own prepared sub-artifact when
+// available, retries transient failures (recovered panics, injected
+// transients) with capped jittered backoff, and records a drop message in
+// failMsgs when it exhausts them — the shard is lost, not the solve. noun
+// names the shard kind ("component" or "cut shard") in those messages.
+// subCtx bounds the sub-solves (it may carry a tighter deadline than the
+// caller's, reserving budget for later phases); spanCtx carries the parent
+// phase span so per-shard spans nest correctly.
+func runSubSolves(subCtx, spanCtx context.Context, plan *shard.Plan, subArts []*prep.Artifact, set constraint.Set, cfg Config, pool *solvecache.Pool, noun string) (subs []*Result, failMsgs []string, runErr error) {
+	subs = make([]*Result, len(plan.Shards))
+	failMsgs = make([]string, len(plan.Shards))
+	runErr = shard.Run(subCtx, len(plan.Shards), pool, func(i int) error {
+		sub := cfg
+		sub.ShardPool = nil
+		sub.ShardWorkers = 0
+		sub.CutShards = 0
+		sub.CutWorkers = 0
+		sub.Seed = shardSeed(cfg.Seed, i)
+		// The parent artifact indexes by global area ids; hand each shard
+		// its own sub-artifact (or nothing).
+		sub.Prepared = nil
+		if subArts != nil {
+			sub.Prepared = subArts[i]
+		}
+		subEv, err := constraint.NewEvaluator(set, plan.Shards[i].Dataset.Column)
+		if err != nil {
+			return err
+		}
+		// Sub-solves go straight to solveWhole (no recursion) with asShard
+		// set: the shard counters account for them, the merged result emits
+		// the one solve event.
+		policy := shardRetryPolicy
+		policy.Seed = shardSeed(cfg.Seed, i)
+		attempt := 0
+		err = fault.Retry(subCtx, policy, func() error {
+			if attempt++; attempt > 1 {
+				met.shardRetries.Inc()
+			}
+			span, attemptCtx := met.spanShardSolve.StartCtx(spanCtx)
+			r, err := solveShardAttempt(attemptCtx, i, plan.Shards[i].Dataset, subEv, sub)
+			d := span.End()
+			met.histShard.Observe(d)
+			met.shardSolves.Inc()
+			if errors.Is(err, ErrInfeasible) {
+				// Shard-level infeasibility is not fatal: the areas stay
+				// unassigned, like any area no feasible region covers.
+				met.shardInfeasible.Inc()
+				subs[i] = r
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			subs[i] = r
+			return nil
+		})
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, context.Canceled) {
+			return err // explicit cancellation fails the whole solve
+		}
+		// Exhausted retries, a permanent fault, or a deadline that expired
+		// before this shard produced an incumbent: the shard is lost, not
+		// the solve. Its areas stay unassigned and the merged result
+		// degrades.
+		failMsgs[i] = fmt.Sprintf("%s %d (%d areas) dropped after %d attempt(s): %v; its areas are left unassigned",
+			noun, i, plan.Shards[i].Dataset.N(), attempt, err)
+		return nil
+	})
+	return subs, failMsgs, runErr
+}
+
+// settleSubSolves applies the shared error policy after a sub-solve run:
+// explicit cancellation or a non-deadline error fails the solve; a deadline
+// (on subCtx — the sub-solve budget, which may be a slice of ctx) degrades
+// to whatever shards finished, filling failMsgs for the ones that did not,
+// unless nothing finished at all.
+func settleSubSolves(ctx, subCtx context.Context, plan *shard.Plan, subs []*Result, failMsgs []string, runErr error, noun string) error {
+	if runErr != nil && !errors.Is(runErr, context.DeadlineExceeded) {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return canceled(err)
+		}
+		return runErr
+	}
+	if err := subCtx.Err(); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return canceled(err)
+		}
+		// The deadline expired mid-run. Serve whatever shards finished;
+		// with none there is nothing to degrade to.
+		contributed := false
+		for _, r := range subs {
+			if r != nil && r.Partition != nil {
+				contributed = true
+				break
+			}
+		}
+		if !contributed {
+			return canceled(err)
+		}
+		for i := range subs {
+			if subs[i] == nil && failMsgs[i] == "" {
+				failMsgs[i] = fmt.Sprintf("%s %d (%d areas) dropped: deadline exceeded before its sub-solve finished; its areas are left unassigned",
+					noun, i, plan.Shards[i].Dataset.N())
+			}
+		}
+	}
+	return nil
+}
+
+// foldSubResults folds the per-shard outcomes into the merged result's
+// telemetry and warnings and returns the per-shard region member lists for
+// Plan.MergeRegions, in shard order. Dropped shards (failMsgs set) degrade
+// the result; infeasible shards only warn.
+func foldSubResults(res *Result, plan *shard.Plan, subs []*Result, failMsgs []string, noun string) [][][]int {
+	perShard := make([][][]int, len(plan.Shards))
+	for i, r := range subs {
+		if failMsgs[i] != "" {
+			// The shard was dropped (exhausted retries, permanent fault or
+			// deadline), not proven infeasible: the merged result is
+			// best-effort.
+			res.Warnings = append(res.Warnings, failMsgs[i])
+			res.Degraded = true
+			continue
+		}
+		if r == nil || r.Partition == nil {
+			n := plan.Shards[i].Dataset.N()
+			msg := fmt.Sprintf("%s %d (%d areas) is infeasible; its areas are left unassigned", noun, i, n)
+			if r != nil && r.Feasibility != nil && len(r.Feasibility.Reasons) > 0 {
+				msg = fmt.Sprintf("%s: %s", msg, r.Feasibility.Reasons[0])
+			}
+			res.Warnings = append(res.Warnings, msg)
+			continue
+		}
+		if r.Degraded {
+			res.Degraded = true
+		}
+		for _, id := range r.Partition.RegionIDs() {
+			perShard[i] = append(perShard[i], r.Partition.Region(id).Members)
+		}
+		res.Iterations += r.Iterations
+		res.HeteroBefore += r.HeteroBefore
+		res.ConstructionTime += r.ConstructionTime
+		res.LocalSearchTime += r.LocalSearchTime
+		res.TabuMoves += r.TabuMoves
+		res.Improvements += r.Improvements
+		res.Search.Add(r.Search)
+		res.Warnings = append(res.Warnings, r.Warnings...)
+	}
+	return perShard
 }

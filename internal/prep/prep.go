@@ -46,6 +46,19 @@ type Artifact struct {
 	plan     *shard.Plan
 	subs     []*Artifact
 	planErr  error
+
+	// Cut decompositions are keyed by shard count: the same dataset can be
+	// solved with different cut_shards values, each plan built exactly once.
+	cutMu   sync.Mutex
+	cutPlan map[int]*cutEntry
+}
+
+// cutEntry is one memoized cut decomposition.
+type cutEntry struct {
+	once sync.Once
+	plan *shard.Plan
+	subs []*Artifact
+	err  error
 }
 
 // New prepares the dataset: it builds the shared solver state (dissimilarity
@@ -109,6 +122,39 @@ func (a *Artifact) Plan() (*shard.Plan, []*Artifact, error) {
 		a.plan, a.subs = plan, subs
 	})
 	return a.plan, a.subs, a.planErr
+}
+
+// CutPlan returns the k-way cut decomposition of the dataset
+// (shard.NewCutPlan) and one prepared sub-artifact per shard, building both
+// on the first call for each k and memoizing per k. Concurrent callers with
+// the same k share one build.
+func (a *Artifact) CutPlan(k int) (*shard.Plan, []*Artifact, error) {
+	a.cutMu.Lock()
+	if a.cutPlan == nil {
+		a.cutPlan = make(map[int]*cutEntry)
+	}
+	e := a.cutPlan[k]
+	if e == nil {
+		e = &cutEntry{}
+		a.cutPlan[k] = e
+	}
+	a.cutMu.Unlock()
+	e.once.Do(func() {
+		plan, err := shard.NewCutPlan(a.ds, k)
+		if err != nil {
+			e.err = err
+			return
+		}
+		subs := make([]*Artifact, len(plan.Shards))
+		for i := range plan.Shards {
+			if subs[i], err = New(plan.Shards[i].Dataset); err != nil {
+				e.err = err
+				return
+			}
+		}
+		e.plan, e.subs = plan, subs
+	})
+	return e.plan, e.subs, e.err
 }
 
 // fingerprint hashes the solver-visible dataset content. The encoding is

@@ -118,6 +118,51 @@ func TestPlanSubArtifacts(t *testing.T) {
 	}
 }
 
+// TestCutPlanSubArtifacts: the memoized cut decomposition mirrors Plan but
+// keys on k — one build per k, sub-artifacts aligned with the plan's shards.
+func TestCutPlanSubArtifacts(t *testing.T) {
+	ds, err := census.Generate(census.Options{Name: "cutprep", Areas: 400, States: 2, Components: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, subs, err := art.CutPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(plan.Shards))
+	}
+	if len(subs) != len(plan.Shards) {
+		t.Fatalf("%d sub-artifacts for %d shards", len(subs), len(plan.Shards))
+	}
+	for i, sub := range subs {
+		if sub.Dataset() != plan.Shards[i].Dataset {
+			t.Errorf("sub-artifact %d prepared from the wrong dataset", i)
+		}
+	}
+	plan2, subs2, err := art.CutPlan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2 != plan || subs2[0] != subs[0] {
+		t.Error("CutPlan(4) is not memoized")
+	}
+	other, _, err := art.CutPlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == plan {
+		t.Error("CutPlan(2) returned the k=4 plan")
+	}
+	if _, _, err := art.CutPlan(1); err == nil {
+		t.Error("CutPlan(1) accepted")
+	}
+}
+
 // TestSharedPartitionEquivalence pins that a partition built on the
 // artifact's shared state behaves like one built standalone: same
 // heterogeneity bookkeeping on the same moves.

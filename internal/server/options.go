@@ -26,6 +26,8 @@ type SolveOptions struct {
 	KernelOff       bool   `json:"kernel_off,omitempty"`
 	ShardOff        bool   `json:"shard_off,omitempty"`
 	ShardWorkers    int    `json:"shard_workers,omitempty"`
+	CutShards       int    `json:"cut_shards,omitempty"`
+	CutWorkers      int    `json:"cut_workers,omitempty"`
 }
 
 // Config converts the wire options to the solver config, validating the
@@ -43,6 +45,14 @@ func (o SolveOptions) Config() (fact.Config, error) {
 		KernelOff:       o.KernelOff,
 		ShardOff:        o.ShardOff,
 		ShardWorkers:    o.ShardWorkers,
+		CutShards:       o.CutShards,
+		CutWorkers:      o.CutWorkers,
+	}
+	if o.CutShards < 0 || o.CutShards == 1 {
+		return fact.Config{}, fmt.Errorf("cut_shards must be 0 (off) or >= 2, got %d", o.CutShards)
+	}
+	if o.CutWorkers < 0 {
+		return fact.Config{}, fmt.Errorf("cut_workers must be >= 0, got %d", o.CutWorkers)
 	}
 	switch canonicalLocalSearch(o.LocalSearch) {
 	case "tabu":
@@ -83,6 +93,8 @@ func OptionsFromConfig(cfg fact.Config) SolveOptions {
 		KernelOff:       cfg.KernelOff,
 		ShardOff:        cfg.ShardOff,
 		ShardWorkers:    cfg.ShardWorkers,
+		CutShards:       cfg.CutShards,
+		CutWorkers:      cfg.CutWorkers,
 	}
 }
 
@@ -96,13 +108,15 @@ func canonicalOrder(order string) string {
 }
 
 // fingerprintParts returns the option fields that go into the solve
-// fingerprint: every knob that can change the result. Three knobs are
+// fingerprint: every knob that can change the result. Four knobs are
 // deliberately excluded because results are proven identical across their
 // values (each pinned by a differential/regression test in internal/fact):
 // Parallelism (construction multi-start determinism), ShardWorkers (merge
-// order is component order, not completion order) and KernelOff (the kernel
-// computes the same objective). Requests differing only in those share one
-// cache entry.
+// order is component order, not completion order), CutWorkers (cut-shard
+// merge and repair run in shard order, not completion order) and KernelOff
+// (the kernel computes the same objective). Requests differing only in those
+// share one cache entry. CutShards IS fingerprinted: the cut changes the
+// search trajectory, so different shard counts produce different results.
 func (o *SolveOptions) fingerprintParts() []string {
 	return []string{
 		strconv.Itoa(o.Iterations),
@@ -114,5 +128,6 @@ func (o *SolveOptions) fingerprintParts() []string {
 		canonicalOrder(o.Order),
 		strconv.FormatBool(o.ShardOff),
 		strconv.FormatInt(o.Seed, 10),
+		strconv.Itoa(o.CutShards),
 	}
 }

@@ -45,6 +45,8 @@ func TestOptionsConfigRoundTrip(t *testing.T) {
 		KernelOff:       true,
 		ShardOff:        true,
 		ShardWorkers:    2,
+		CutShards:       4,
+		CutWorkers:      2,
 	}
 	v := reflect.ValueOf(cfg)
 	for i := 0; i < v.NumField(); i++ {
@@ -82,7 +84,16 @@ func TestOptionsConfigValidation(t *testing.T) {
 	if _, err := (SolveOptions{Order: "sideways"}).Config(); err == nil {
 		t.Error("unknown order accepted")
 	}
-	for _, o := range []SolveOptions{{}, {LocalSearch: "tabu", Order: "random"}, {LocalSearch: "anneal", Order: "descending"}} {
+	if _, err := (SolveOptions{CutShards: 1}).Config(); err == nil {
+		t.Error("cut_shards=1 accepted (must be 0 or >= 2)")
+	}
+	if _, err := (SolveOptions{CutShards: -3}).Config(); err == nil {
+		t.Error("negative cut_shards accepted")
+	}
+	if _, err := (SolveOptions{CutWorkers: -1}).Config(); err == nil {
+		t.Error("negative cut_workers accepted")
+	}
+	for _, o := range []SolveOptions{{}, {LocalSearch: "tabu", Order: "random"}, {LocalSearch: "anneal", Order: "descending"}, {CutShards: 4, CutWorkers: 2}} {
 		if _, err := o.Config(); err != nil {
 			t.Errorf("valid options %+v rejected: %v", o, err)
 		}
@@ -103,6 +114,7 @@ func TestFingerprintKnobs(t *testing.T) {
 		"parallelism":   {Seed: 1, Parallelism: 8},
 		"shard_workers": {Seed: 1, ShardWorkers: 8},
 		"kernel_off":    {Seed: 1, KernelOff: true},
+		"cut_workers":   {Seed: 1, CutWorkers: 8},
 		"spelling":      {Seed: 1, LocalSearch: "tabu", Order: "random"},
 	} {
 		if fp(o) != fp(base) {
@@ -117,6 +129,7 @@ func TestFingerprintKnobs(t *testing.T) {
 		"shard_off":    {Seed: 1, ShardOff: true},
 		"local_search": {Seed: 1, LocalSearch: "anneal"},
 		"skip_search":  {Seed: 1, SkipLocalSearch: true},
+		"cut_shards":   {Seed: 1, CutShards: 4},
 	} {
 		if fp(o) == fp(base) {
 			t.Errorf("%s did not change the fingerprint but changes the result", name)

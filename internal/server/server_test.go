@@ -57,7 +57,7 @@ func TestDatasets(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 9 {
+	if len(entries) != 12 {
 		t.Errorf("got %d datasets", len(entries))
 	}
 	rec, _ = doJSON(t, Handler(), http.MethodPost, "/datasets", "")

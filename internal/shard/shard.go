@@ -1,8 +1,14 @@
-// Package shard decomposes a regionalization instance into its connected
-// components. Regions are contiguous, so they can never span components of
-// the contiguity graph: each component is an independent EMP sub-instance
-// that can be solved in isolation and in parallel (the same decomposition
-// the strong-ILP p-regions formulations apply before solving).
+// Package shard decomposes a regionalization instance into independent
+// sub-instances, two ways. NewPlan splits by connected components: regions
+// are contiguous, so they can never span components of the contiguity graph
+// — each component is an independent EMP sub-instance that can be solved in
+// isolation and in parallel (the same decomposition the strong-ILP p-regions
+// formulations apply before solving), and the merge is exact. NewCutPlan
+// generalizes that to single-component graphs: a deterministic multilevel
+// partitioner slices one component into k balanced sub-instances along
+// low-connectivity cuts, trading exact equivalence with the whole-graph
+// solve for parallelism (the solver repairs the stitch seams afterwards;
+// see docs/SHARDING.md).
 //
 // The package owns the pure machinery — component discovery, sub-dataset
 // construction with index remapping in both directions, a bounded concurrent
@@ -52,6 +58,12 @@ type Plan struct {
 	Component []int
 	// Local maps each global area id to its local id within its shard.
 	Local []int
+	// CutEdges lists the adjacency edges severed by the decomposition as
+	// global (u, v) pairs with u < v, ordered ascending. Component plans
+	// leave it empty — component boundaries cut nothing — while cut plans
+	// (NewCutPlan) record every severed adjacency so the solver can repair
+	// the stitch seams.
+	CutEdges [][2]int32
 }
 
 // NewPlan decomposes the dataset into one shard per connected component.
@@ -79,15 +91,17 @@ func NewPlan(ds *data.Dataset) (*Plan, error) {
 }
 
 // MergeRegions concatenates per-shard region member lists (given in local
-// ids) into global-id member lists, in shard order. perShard must be
-// parallel to Plan.Shards; a nil entry (e.g. an infeasible component)
-// contributes nothing, leaving its areas unassigned.
+// ids) into global-id member lists, in shard order. perShard must be exactly
+// parallel to Plan.Shards — MergeRegions panics on a length mismatch, since
+// silently dropping trailing shards would strand their areas as unassigned
+// with no warning. A nil entry (e.g. an infeasible component) is the
+// explicit way to contribute nothing, leaving that shard's areas unassigned.
 func (p *Plan) MergeRegions(perShard [][][]int) [][]int {
+	if len(perShard) != len(p.Shards) {
+		panic(fmt.Sprintf("shard: MergeRegions got %d per-shard results for %d shards", len(perShard), len(p.Shards)))
+	}
 	var out [][]int
 	for i := range p.Shards {
-		if i >= len(perShard) {
-			break
-		}
 		for _, members := range perShard[i] {
 			out = append(out, p.Shards[i].ToGlobal(members))
 		}

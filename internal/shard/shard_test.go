@@ -121,6 +121,31 @@ func TestMergeRegions(t *testing.T) {
 	}
 }
 
+// TestMergeRegionsLengthMismatchPanics pins the explicit length contract:
+// fewer (or more) per-shard results than shards must panic instead of
+// silently stranding the trailing shards' areas.
+func TestMergeRegionsLengthMismatchPanics(t *testing.T) {
+	ds := twoComponents(t)
+	p, err := NewPlan(ds)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	for _, perShard := range [][][][]int{
+		{{{0, 1, 2}}},         // one result for two shards
+		{{{0}}, {{0}}, {{0}}}, // three results for two shards
+		nil,                   // no results at all
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MergeRegions(%d results) did not panic", len(perShard))
+				}
+			}()
+			p.MergeRegions(perShard)
+		}()
+	}
+}
+
 func TestRunExecutesAll(t *testing.T) {
 	var done [8]atomic.Bool
 	err := Run(context.Background(), len(done), solvecache.NewPool(3), func(i int) error {

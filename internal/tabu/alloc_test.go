@@ -11,7 +11,7 @@ import "testing"
 func TestMoveLoopAllocs(t *testing.T) {
 	base := eightKPartition(t)
 	p := base.Clone()
-	s := newSearcher(p, Heterogeneity{})
+	s := newSearcher(p, Heterogeneity{}, nil)
 	if s.heap.len() == 0 {
 		t.Fatal("no candidate moves on the test partition")
 	}

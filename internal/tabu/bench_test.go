@@ -197,7 +197,7 @@ func BenchmarkCandidateRefresh(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			p := base.Clone()
 			p.SetHeteroKernel(mode.kernel)
-			s := newSearcher(p, Heterogeneity{})
+			s := newSearcher(p, Heterogeneity{}, nil)
 			if s.heap.len() == 0 {
 				b.Fatal("no candidate moves on the benchmark partition")
 			}

@@ -14,10 +14,11 @@ import (
 // recompute per pick, a linear scan over the whole candidate map, one BFS
 // per donor-contiguity check, and a candidate-map sweep per refresh.
 type fallbackSearcher struct {
-	p    *region.Partition
-	obj  Objective
-	cand map[moveKey]float64 // valid moves and their objective delta
-	tabu map[moveKey]int     // forbidden until iteration
+	p        *region.Partition
+	obj      Objective
+	restrict []bool              // Config.Restrict mask (nil = unrestricted)
+	cand     map[moveKey]float64 // valid moves and their objective delta
+	tabu     map[moveKey]int     // forbidden until iteration
 	// cnt accumulates the run's hot-path counters (no heap here, so the
 	// heap fields stay zero).
 	cnt Counters
@@ -32,10 +33,11 @@ func improveFallback(p *region.Partition, cfg Config) Stats {
 		obj = Heterogeneity{}
 	}
 	s := &fallbackSearcher{
-		p:    p,
-		obj:  obj,
-		cand: make(map[moveKey]float64),
-		tabu: make(map[moveKey]int),
+		p:        p,
+		obj:      obj,
+		restrict: cfg.Restrict,
+		cand:     make(map[moveKey]float64),
+		tabu:     make(map[moveKey]int),
 	}
 	s.buildAllCandidates()
 
@@ -132,6 +134,9 @@ func (s *fallbackSearcher) buildAllCandidates() {
 // donor-side contiguity question with a fresh BFS (region.CanRemove).
 func (s *fallbackSearcher) addCandidatesFor(a int) {
 	p := s.p
+	if s.restrict != nil && !s.restrict[a] {
+		return
+	}
 	from := p.Assignment(a)
 	if from == region.Unassigned {
 		return

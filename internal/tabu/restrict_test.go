@@ -1,0 +1,69 @@
+package tabu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestImproveRestrictMask: with Config.Restrict set, only masked areas may
+// move — the seam-repair guarantee that a restricted search never disturbs
+// shard interiors. Checked over random grid instances with a random half
+// mask; the full-true mask must behave exactly like no mask at all.
+func TestImproveRestrictMask(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomGridPartition(t, rng)
+		if p == nil {
+			continue
+		}
+		n := p.Dataset().N()
+
+		mask := make([]bool, n)
+		masked := 0
+		for i := range mask {
+			if rng.Intn(2) == 0 {
+				mask[i] = true
+				masked++
+			}
+		}
+		if masked == 0 {
+			mask[0] = true
+		}
+		before := make([]int, n)
+		for i := range before {
+			before[i] = p.Assignment(i)
+		}
+		stats := Improve(p, Config{MaxNoImprove: 50, RecordMoves: true, Restrict: mask})
+		for _, m := range stats.MoveLog {
+			if !mask[m.Area] {
+				t.Fatalf("seed %d: unmasked area %d moved (%d -> %d)", seed, m.Area, m.From, m.To)
+			}
+		}
+		for i := range before {
+			if !mask[i] && p.Assignment(i) != before[i] {
+				t.Fatalf("seed %d: unmasked area %d reassigned %d -> %d", seed, i, before[i], p.Assignment(i))
+			}
+		}
+
+		// A full mask is the unrestricted search, move for move.
+		pa := randomGridPartition(t, rand.New(rand.NewSource(seed)))
+		pb := randomGridPartition(t, rand.New(rand.NewSource(seed)))
+		if pa == nil || pb == nil {
+			continue
+		}
+		all := make([]bool, pa.Dataset().N())
+		for i := range all {
+			all[i] = true
+		}
+		sa := Improve(pa, Config{MaxNoImprove: 50, RecordMoves: true})
+		sb := Improve(pb, Config{MaxNoImprove: 50, RecordMoves: true, Restrict: all})
+		if len(sa.MoveLog) != len(sb.MoveLog) {
+			t.Fatalf("seed %d: full mask made %d moves, unrestricted %d", seed, len(sb.MoveLog), len(sa.MoveLog))
+		}
+		for i := range sa.MoveLog {
+			if sa.MoveLog[i] != sb.MoveLog[i] {
+				t.Fatalf("seed %d: move %d differs: %v vs %v", seed, i, sa.MoveLog[i], sb.MoveLog[i])
+			}
+		}
+	}
+}

@@ -38,6 +38,13 @@ type Config struct {
 	// RecordMoves captures the applied move sequence in Stats.MoveLog,
 	// for differential testing of kernel variants.
 	RecordMoves bool
+	// Restrict, when non-nil, confines the search to the marked areas: only
+	// areas with Restrict[area] true are candidates to move (everything else
+	// keeps its assignment, though restricted areas may still move *into*
+	// any region). The slice must cover the dataset's area ids. The
+	// cut-sharding seam repair uses this to search just the stitch-seam
+	// frontier instead of the whole partition.
+	Restrict []bool
 	// Fallback routes the search through the pre-kernel reference
 	// implementation (full candidate scans, per-iteration objective
 	// recompute, one BFS per donor check). It picks the same moves as the
@@ -102,6 +109,9 @@ type donorEnt struct {
 type searcher struct {
 	p   *region.Partition
 	obj Objective
+	// restrict, when non-nil, masks the areas allowed to move
+	// (Config.Restrict); candidates for unmasked areas are never generated.
+	restrict []bool
 	// hetero marks the default Heterogeneity objective, enabling donor-loss
 	// batching: one HeteroLoss per area instead of one per (area, target).
 	hetero bool
@@ -158,12 +168,13 @@ type searcher struct {
 	cnt Counters
 }
 
-func newSearcher(p *region.Partition, obj Objective) *searcher {
+func newSearcher(p *region.Partition, obj Objective, restrict []bool) *searcher {
 	n := p.Dataset().N()
 	_, hetero := obj.(Heterogeneity)
 	s := &searcher{
 		p:          p,
 		obj:        obj,
+		restrict:   restrict,
 		hetero:     hetero,
 		byArea:     make([][]*candItem, n),
 		tabuByArea: make([][]tabuEnt, n),
@@ -225,7 +236,7 @@ func Improve(p *region.Partition, cfg Config) Stats {
 	if obj == nil {
 		obj = Heterogeneity{}
 	}
-	s := newSearcher(p, obj)
+	s := newSearcher(p, obj, cfg.Restrict)
 	s.cur = obj.Total(p)
 
 	best := s.cur
@@ -416,6 +427,10 @@ func (s *searcher) primeRemovability(r *region.Region, rem []bool) {
 // gain was computed, so a re-query would return the bitwise-identical value.
 func (s *searcher) refreshArea(a, f, t int) {
 	p := s.p
+	if s.restrict != nil && !s.restrict[a] {
+		s.dropCandidates(a)
+		return
+	}
 	from := p.Assignment(a)
 	if from == region.Unassigned {
 		s.dropCandidates(a)
@@ -684,6 +699,9 @@ func (s *searcher) removeItem(a int, it *candItem) {
 // mutate, so its cached removability verdict, cached donor loss, and all
 // candidates toward other regions stay valid.
 func (s *searcher) refreshExternal(b, f, t int, adjF, adjT bool) {
+	if s.restrict != nil && !s.restrict[b] {
+		return // unmasked areas never hold candidate items to refresh
+	}
 	p := s.p
 	var itF, itT *candItem
 	for _, it := range s.byArea[b] {
