@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-cut bench-fault bench-prep
+.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-cut bench-fault bench-prep bench-jobs
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,13 @@ bench-cut:
 # default scale keeps it CI-grade; see docs/ROBUSTNESS.md for the legs.
 bench-fault:
 	$(GO) run ./cmd/empbench -benchfault
+
+# bench-jobs regenerates BENCH_jobs.json (async job API: sync vs async wall
+# time, submit latency, time-to-first-incumbent vs convergence from the event
+# stream, and the warm-start resubmit win in tabu moves). The default scale
+# keeps it CI-grade; see docs/JOBS.md for what the legs mean.
+bench-jobs:
+	$(GO) run ./cmd/empbench -benchjobs
 
 # bench-prep regenerates BENCH_prep.json (prepared-dataset artifact: solve
 # latency prepared vs unprepared, cold-request throughput, result identity,

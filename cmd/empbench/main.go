@@ -44,6 +44,7 @@ func main() {
 		benchCut   = flag.Bool("benchcut", false, "run the cut-sharding benchmark and write BENCH_cut.json")
 		benchFault = flag.Bool("benchfault", false, "run the fault-injection/degradation benchmark and write BENCH_fault.json")
 		benchPrep  = flag.Bool("benchprep", false, "run the prepared-dataset artifact benchmark and write BENCH_prep.json")
+		benchJobs  = flag.Bool("benchjobs", false, "run the async job API benchmark and write BENCH_jobs.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
@@ -140,6 +141,19 @@ func main() {
 			res.Dataset, res.Areas, res.UnpreparedSeconds, res.PreparedSeconds, res.SolveSpeedup,
 			res.ArtifactBuildSecond, res.ColdSolvesPerSec, res.PreparedSolvesPerSec, res.Identical, res.AllocsPerMove)
 		fmt.Println("wrote BENCH_prep.json")
+		return
+	}
+	if *benchJobs {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteJobsBench(cfg, "BENCH_jobs.json")
+		if err != nil {
+			log.Fatalf("benchjobs: %v", err)
+		}
+		fmt.Printf("jobs on %s scale %g: sync %.3fs, async %.3fs (submit %.1fms, first incumbent %.0fms, converged %.0fms, %d incumbents, final event matches=%v); warm resubmit %d moves vs cold %d (%.1f%% saved, warm_from=%v)\n",
+			res.Dataset, res.Scale, res.SyncSeconds, res.AsyncSeconds, res.SubmitMillis,
+			res.FirstIncumbentMs, res.ConvergenceMs, res.IncumbentEvents, res.FinalEventMatchesResult,
+			res.WarmMoves, res.ColdMoves, res.WarmMovesSavedPct, res.WarmFromSet)
+		fmt.Println("wrote BENCH_jobs.json")
 		return
 	}
 	if *benchTabu {

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// runJobs implements the `empquery jobs` subcommand: drive a running
+// empserve's async job API (docs/JOBS.md).
+//
+//	empquery jobs submit -name 2k -scale 0.25 -q "SUM(TOTALPOP) >= 20000"
+//	empquery jobs status <job-id>
+//	empquery jobs watch <job-id>        # stream incumbents until the job ends
+//	empquery jobs cancel <job-id>
+//	empquery jobs list
+func runJobs(args []string) {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "server base URL")
+	name := fs.String("name", "", "named synthetic dataset (submit)")
+	scale := fs.Float64("scale", 0, "scale for -name datasets (submit)")
+	seed := fs.Int64("seed", 1, "random seed (submit)")
+	query := fs.String("q", "", "semicolon-separated constraints (submit)")
+	timeoutMS := fs.Int64("timeout-ms", 0, "solve deadline in ms, 0 = server max (submit)")
+	watch := fs.Bool("watch", false, "after submit, stream events until the job ends")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: empquery jobs [-addr URL] <submit|status|watch|cancel|list> [args]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	base := strings.TrimSuffix(*addr, "/")
+	switch verb := fs.Arg(0); verb {
+	case "submit":
+		if *name == "" || *query == "" {
+			log.Fatal("jobs submit requires -name and -q")
+		}
+		id := jobSubmit(base, *name, *scale, *seed, *query, *timeoutMS)
+		if *watch {
+			jobWatch(base, id)
+		}
+	case "status":
+		requireID(fs, "status")
+		jobStatusCmd(base, fs.Arg(1))
+	case "watch":
+		requireID(fs, "watch")
+		jobWatch(base, fs.Arg(1))
+	case "cancel":
+		requireID(fs, "cancel")
+		jobCancel(base, fs.Arg(1))
+	case "list":
+		jobList(base)
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+func requireID(fs *flag.FlagSet, verb string) {
+	if fs.NArg() != 2 {
+		log.Fatalf("jobs %s requires exactly one job id", verb)
+	}
+}
+
+// jobView mirrors the server's JobStatus wire shape (the fields this CLI
+// renders; unknown fields are ignored by encoding/json).
+type jobView struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Dataset   string  `json:"dataset"`
+	TraceID   string  `json:"trace_id"`
+	WarmFrom  string  `json:"warm_from"`
+	Phase     string  `json:"phase"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	P         int     `json:"p"`
+	H         float64 `json:"h"`
+	Events    int     `json:"events"`
+	Error     *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+	Result *struct {
+		P           int     `json:"p"`
+		HeteroAfter float64 `json:"hetero_after"`
+		TabuMoves   int     `json:"tabu_moves"`
+		Unassigned  int     `json:"unassigned"`
+	} `json:"result"`
+}
+
+func decodeJob(resp *http.Response) jobView {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		log.Fatalf("decoding job: %v", err)
+	}
+	return v
+}
+
+func printJob(v jobView) {
+	fmt.Printf("job %s  state=%s  dataset=%s", v.ID, v.State, v.Dataset)
+	if v.WarmFrom != "" {
+		fmt.Printf("  warm_from=%s", v.WarmFrom)
+	}
+	fmt.Println()
+	switch v.State {
+	case "queued", "running":
+		fmt.Printf("  phase=%s  elapsed=%.0fms  incumbent p=%d H=%.4g  (%d events)\n",
+			v.Phase, v.ElapsedMs, v.P, v.H, v.Events)
+	case "failed":
+		fmt.Printf("  error: %s (%s)\n", v.Error.Message, v.Error.Code)
+	default:
+		fmt.Printf("  p=%d  H=%.4g", v.P, v.H)
+		if v.Result != nil {
+			fmt.Printf("  moves=%d  unassigned=%d", v.Result.TabuMoves, v.Result.Unassigned)
+		}
+		fmt.Println()
+	}
+	if v.TraceID != "" {
+		fmt.Printf("  trace: empquery trace %s\n", v.TraceID)
+	}
+}
+
+func jobSubmit(base, name string, scale float64, seed int64, query string, timeoutMS int64) string {
+	body, err := json.Marshal(map[string]any{
+		"named":       name,
+		"scale":       scale,
+		"constraints": query,
+		"timeout_ms":  timeoutMS,
+		"options":     map[string]any{"seed": seed},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatalf("POST %s/v1/jobs: %v", base, err)
+	}
+	v := decodeJob(resp)
+	printJob(v)
+	return v.ID
+}
+
+func jobStatusCmd(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printJob(decodeJob(resp))
+}
+
+// jobWatch streams the job's NDJSON event feed, rendering one line per
+// event, until the terminal event arrives.
+func jobWatch(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Seq       int     `json:"seq"`
+			Type      string  `json:"type"`
+			ElapsedMs float64 `json:"elapsed_ms"`
+			Phase     string  `json:"phase"`
+			P         int     `json:"p"`
+			H         float64 `json:"h"`
+			Moves     int     `json:"moves"`
+			State     string  `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		el := time.Duration(ev.ElapsedMs * float64(time.Millisecond)).Truncate(time.Millisecond)
+		switch ev.Type {
+		case "done":
+			fmt.Printf("%4d  %8s  %s: %s  p=%d H=%.4g\n", ev.Seq, el, ev.Type, ev.State, ev.P, ev.H)
+			return
+		case "incumbent":
+			fmt.Printf("%4d  %8s  %s  p=%d H=%.4g moves=%d\n", ev.Seq, el, ev.Type, ev.P, ev.H, ev.Moves)
+		default:
+			fmt.Printf("%4d  %8s  phase=%s\n", ev.Seq, el, ev.Phase)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("stream: %v", err)
+	}
+}
+
+func jobCancel(base, id string) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Println(strings.TrimSpace(string(body)))
+}
+
+func jobList(base string) {
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []jobView
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		log.Fatalf("decoding job list: %v", err)
+	}
+	if len(rows) == 0 {
+		fmt.Println("no jobs")
+		return
+	}
+	for _, v := range rows {
+		fmt.Printf("%s  %-8s  %-8s  p=%-4d H=%.4g\n", v.ID, v.State, v.Dataset, v.P, v.H)
+	}
+}

@@ -19,6 +19,16 @@
 //
 //	empquery trace -addr http://localhost:8080 <trace_id>
 //	empquery trace TRACE_obs.jsonl
+//
+// The jobs subcommand drives a running empserve's async job API
+// (docs/JOBS.md): submit a solve without holding the connection, poll or
+// stream its progress, cancel it:
+//
+//	empquery jobs submit -name 2k -scale 0.25 -q "SUM(TOTALPOP) >= 20000" -watch
+//	empquery jobs status <job_id>
+//	empquery jobs watch <job_id>
+//	empquery jobs cancel <job_id>
+//	empquery jobs list
 package main
 
 import (
@@ -36,9 +46,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("empquery: ")
 	// Subcommand dispatch happens before flag.Parse so `empquery trace ...`
-	// keeps its own flag set; the flag-based query interface is unchanged.
+	// and `empquery jobs ...` keep their own flag sets; the flag-based query
+	// interface is unchanged.
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "jobs" {
+		runJobs(os.Args[2:])
 		return
 	}
 	var (

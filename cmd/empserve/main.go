@@ -7,6 +7,7 @@
 //	         [-max-timeout 5m] [-drain-grace 15s]
 //	         [-dataset-cache-mb 256] [-result-cache-mb 64]
 //	         [-flight-recorder-mb 8] [-flight-recorder-traces 64]
+//	         [-job-ttl 15m] [-job-results-mb 64] [-max-jobs 64]
 //
 // Solves run on a bounded worker pool behind a FIFO queue; when the queue
 // is full or a queued solve exceeds -queue-wait the request is shed with
@@ -15,18 +16,38 @@
 // solve execution. Every solve runs under a deadline: the request's
 // timeout_ms clamped to -max-timeout (docs/ROBUSTNESS.md).
 //
-// Endpoints (every path is also mounted under the versioned /v1 prefix,
-// e.g. /v1/solve; both spellings hit the same handlers, caches and metrics,
-// and all errors arrive as one JSON envelope
-// {"error":{"code","message",...}} — see docs/SERVING.md):
+// Endpoints (the canonical surface lives under the /v1 prefix; the bare
+// spellings of the pre-versioning routes remain mounted as DEPRECATED
+// aliases — same handlers, caches and metrics, but alias responses carry
+// `Deprecation: true` and a successor-version Link header and are counted in
+// emp_deprecated_requests_total{path}. All errors on every route arrive as
+// one JSON envelope {"error":{"code","message",...}} — see docs/SERVING.md):
 //
-//	GET  /healthz   liveness probe (200 while the process serves HTTP)
-//	GET  /readyz    readiness probe (503 while draining or queue-saturated)
-//	GET  /datasets  list the named synthetic datasets
-//	GET  /metrics   Prometheus text metrics (solver + HTTP + histograms)
+//	GET  /v1/healthz   liveness probe (200 while the process serves HTTP)
+//	GET  /v1/readyz    readiness probe (503 while draining or queue-saturated;
+//	                   the draining body reports still-active async jobs)
+//	GET  /v1/datasets  list the named synthetic datasets
+//	GET  /v1/metrics   Prometheus text metrics (solver + HTTP + histograms)
 //	GET  /v1/debug/solves       in-flight solves (trace id, phase, p, H)
 //	GET  /v1/debug/trace/{id}   span tree + convergence curve of a solve
-//	GET  /v1/debug/cache        cache + flight-recorder occupancy
+//	GET  /v1/debug/cache        cache + flight-recorder + job-store occupancy
+//
+// Async jobs (see docs/JOBS.md; /v1-only — the surface postdates versioning):
+//
+//	POST   /v1/jobs              submit a solve (same body as /v1/solve);
+//	                             202 + job id, Location header, status body
+//	GET    /v1/jobs              list tracked jobs
+//	GET    /v1/jobs/{id}         status: state, live incumbent p/H, result
+//	GET    /v1/jobs/{id}/events  stream incumbent improvements as SSE
+//	                             (Accept: text/event-stream) or NDJSON;
+//	                             ?since=N resumes from sequence N
+//	DELETE /v1/jobs/{id}         cancel (queued or running)
+//
+// Submitting an identical request while its job is active attaches to the
+// existing job; a finished job on the same dataset seeds the next job's
+// construction (warm start). Finished jobs stay fetchable for -job-ttl with
+// results retained under a -job-results-mb byte budget; at most -max-jobs
+// are queued or running at once (further submits get 429).
 //
 // Every request is one trace: an incoming W3C traceparent header is honored
 // and the request span's identity is echoed back, so a client can fetch
@@ -56,11 +77,13 @@
 // under /debug/vars. Keep it on a loopback or otherwise private address.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: /readyz flips to 503
-// immediately so load balancers drain the instance, then after -drain-grace
-// in-flight solves get up to 15 seconds to finish before the listener is
+// immediately so load balancers drain the instance (new job submits are
+// refused the same moment), then after -drain-grace in-flight requests AND
+// in-flight async jobs get up to 15 seconds to finish before the listener is
 // torn down. Nonsensical flag values (negative -workers, -queue-depth below
-// -1, non-positive -queue-wait, -max-body or -max-timeout) are rejected at
-// startup with exit status 2.
+// -1, non-positive -queue-wait, -max-body, -max-timeout, -job-ttl,
+// -job-results-mb or negative -max-jobs) are rejected at startup with exit
+// status 2.
 package main
 
 import (
@@ -76,6 +99,7 @@ import (
 	"syscall"
 	"time"
 
+	"emp/internal/jobs"
 	"emp/internal/obs"
 	"emp/internal/obswire"
 	"emp/internal/server"
@@ -98,9 +122,17 @@ func main() {
 		resCacheMB = flag.Int64("result-cache-mb", server.DefaultResultCacheBytes>>20, "solve result cache budget in MiB (negative disables)")
 		flightMB   = flag.Int64("flight-recorder-mb", server.DefaultFlightRecorderBytes>>20, "flight-recorder trace retention budget in MiB")
 		flightN    = flag.Int("flight-recorder-traces", server.DefaultFlightRecorderTraces, "finished traces retained for /v1/debug/trace")
+		jobTTL     = flag.Duration("job-ttl", jobs.DefaultTTL, "how long finished async jobs stay fetchable on /v1/jobs/{id}")
+		jobResMB   = flag.Int64("job-results-mb", jobs.DefaultRetainBytes>>20, "byte budget for results retained across finished async jobs, in MiB")
+		maxJobs    = flag.Int("max-jobs", jobs.DefaultMaxActive, "max queued+running async jobs; submits past it get 429 (0 = default)")
 	)
 	flag.Parse()
 	if err := validateFlags(*workers, *queueDep, *queueWait, *maxBody, *maxTimeout, *drainGrace); err != nil {
+		log.Print(err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateJobFlags(*jobTTL, *jobResMB, *maxJobs); err != nil {
 		log.Print(err)
 		flag.Usage()
 		os.Exit(2)
@@ -131,6 +163,10 @@ func main() {
 
 		FlightRecorderBytes:  *flightMB << 20,
 		FlightRecorderTraces: *flightN,
+
+		JobTTL:         *jobTTL,
+		JobRetainBytes: *jobResMB << 20,
+		MaxActiveJobs:  *maxJobs,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
@@ -185,9 +221,18 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		log.Printf("shutting down (in-flight requests get 15s)")
+		log.Printf("shutting down (in-flight requests and jobs get 15s)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
+		// Async jobs outlive their submit requests, so http.Server.Shutdown
+		// alone would not wait for them: drain the job runners explicitly
+		// under the same budget before tearing the listener down.
+		if n := svc.InflightJobs(); n > 0 {
+			log.Printf("waiting for %d in-flight async job(s)", n)
+			if !svc.DrainJobs(shutdownCtx) {
+				log.Printf("shutdown budget elapsed with %d job(s) still running", svc.InflightJobs())
+			}
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
@@ -215,6 +260,21 @@ func validateFlags(workers, queueDep int, queueWait time.Duration, maxBody int64
 	}
 	if drainGrace < 0 {
 		return fmt.Errorf("-drain-grace must be >= 0, got %v", drainGrace)
+	}
+	return nil
+}
+
+// validateJobFlags applies the same fail-at-startup policy to the async job
+// store's sizing flags.
+func validateJobFlags(ttl time.Duration, resMB int64, maxJobs int) error {
+	if ttl <= 0 {
+		return fmt.Errorf("-job-ttl must be positive, got %v", ttl)
+	}
+	if resMB <= 0 {
+		return fmt.Errorf("-job-results-mb must be positive, got %d", resMB)
+	}
+	if maxJobs < 0 {
+		return fmt.Errorf("-max-jobs must be >= 0 (0 = default), got %d", maxJobs)
 	}
 	return nil
 }

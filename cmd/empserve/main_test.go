@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"emp/internal/jobs"
 	"emp/internal/server"
 )
 
@@ -43,6 +44,26 @@ func TestValidateFlags(t *testing.T) {
 	for _, tc := range invalid {
 		if tc.err == nil {
 			t.Errorf("%s: accepted, want an error (exit 2 at startup)", tc.name)
+		}
+	}
+}
+
+// TestValidateJobFlags pins the same contract for the async job store flags.
+func TestValidateJobFlags(t *testing.T) {
+	if err := validateJobFlags(jobs.DefaultTTL, jobs.DefaultRetainBytes>>20, jobs.DefaultMaxActive); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	if err := validateJobFlags(time.Minute, 1, 0); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+	for name, err := range map[string]error{
+		"zero ttl":            validateJobFlags(0, 64, 64),
+		"negative ttl":        validateJobFlags(-time.Second, 64, 64),
+		"zero results budget": validateJobFlags(time.Minute, 0, 64),
+		"negative max jobs":   validateJobFlags(time.Minute, 64, -1),
+	} {
+		if err == nil {
+			t.Errorf("%s: accepted, want an error (exit 2 at startup)", name)
 		}
 	}
 }

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"emp/internal/jobs"
+	"emp/internal/obs"
+	"emp/internal/server"
+)
+
+// JobsBenchResult is the JSON artifact written by `empbench -benchjobs`: the
+// async job surface (POST /v1/jobs) measured against the sync path on the
+// same solve. The anytime numbers are the point of the API — a watcher sees
+// the first usable incumbent at FirstIncumbentMs, long before the solve
+// converges — and the warm leg quantifies the resubmit win: a perturbed
+// constraint set seeded from the previous job's partition needs fewer tabu
+// moves than the same request solved cold.
+type JobsBenchResult struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+
+	// Sync baseline: POST /v1/solve of the same body, cold.
+	SyncSeconds float64 `json:"sync_seconds"`
+
+	// Async leg: submit latency (202 arrives while the solve runs), total
+	// submit-to-done wall time, and the anytime profile from the event log.
+	SubmitMillis            float64 `json:"submit_ms"`
+	AsyncSeconds            float64 `json:"async_seconds"`
+	FirstIncumbentMs        float64 `json:"first_incumbent_ms"`
+	ConvergenceMs           float64 `json:"convergence_ms"`
+	IncumbentEvents         int     `json:"incumbent_events"`
+	TotalEvents             int     `json:"total_events"`
+	FinalEventMatchesResult bool    `json:"final_event_matches_result"`
+
+	// Warm leg: the perturbed constraint set solved warm (seeded from the
+	// previous job on the same dataset) vs cold on a fresh server.
+	WarmFromSet       bool    `json:"warm_from_set"`
+	ColdP             int     `json:"cold_p"`
+	WarmP             int     `json:"warm_p"`
+	ColdMoves         int     `json:"cold_moves"`
+	WarmMoves         int     `json:"warm_moves"`
+	WarmMovesSavedPct float64 `json:"warm_moves_saved_pct"`
+	ColdHetero        float64 `json:"cold_hetero"`
+	WarmHetero        float64 `json:"warm_hetero"`
+}
+
+// jobsBody renders a solve request for the bench dataset with a
+// parameterizable population floor (the warm leg perturbs it).
+func jobsBody(scale float64, seed int64, floor int) string {
+	scaleField := ""
+	if scale > 0 && scale < 1 {
+		scaleField = fmt.Sprintf(`"scale":%g,`, scale)
+	}
+	return fmt.Sprintf(`{"named":"2k",%s"constraints":"SUM(TOTALPOP) >= %d",
+		"options":{"seed":%d}}`, scaleField, floor, seed)
+}
+
+// jobsDo fires one request through the handler and returns the recorder.
+func jobsDo(h http.Handler, method, path, body string) (*benchRecorder, error) {
+	req, err := http.NewRequest(method, path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	rec := newBenchRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, nil
+}
+
+// jobsSubmit POSTs one job and returns its decoded status (202 fresh, 200
+// done-on-arrival or dedup).
+func jobsSubmit(h http.Handler, body string) (*server.JobStatus, error) {
+	rec, err := jobsDo(h, http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	if rec.status != http.StatusAccepted && rec.status != http.StatusOK {
+		return nil, fmt.Errorf("jobsbench: submit status %d: %s", rec.status, rec.body.String())
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(rec.body.Bytes(), &st); err != nil {
+		return nil, fmt.Errorf("jobsbench: decoding submit response: %w", err)
+	}
+	return &st, nil
+}
+
+// jobsAwait polls the status endpoint until the job is terminal and returns
+// the final status (with the full result).
+func jobsAwait(h http.Handler, id string) (*server.JobStatus, error) {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		rec, err := jobsDo(h, http.MethodGet, "/v1/jobs/"+id, "")
+		if err != nil {
+			return nil, err
+		}
+		if rec.status != http.StatusOK {
+			return nil, fmt.Errorf("jobsbench: status %d for job %s: %s", rec.status, id, rec.body.String())
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal(rec.body.Bytes(), &st); err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done":
+			return &st, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("jobsbench: job %s ended %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("jobsbench: job %s did not finish", id)
+}
+
+// jobsEvents replays a finished job's NDJSON event stream (the handler
+// returns once the log is sealed, so this is a plain request).
+func jobsEvents(h http.Handler, id string) ([]jobs.Event, error) {
+	rec, err := jobsDo(h, http.MethodGet, "/v1/jobs/"+id+"/events", "")
+	if err != nil {
+		return nil, err
+	}
+	if rec.status != http.StatusOK {
+		return nil, fmt.Errorf("jobsbench: events status %d: %s", rec.status, rec.body.String())
+	}
+	var out []jobs.Event
+	sc := bufio.NewScanner(&rec.body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("jobsbench: bad event %q: %w", sc.Text(), err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// jobsRun submits one job and waits for it, returning the final status.
+func jobsRun(h http.Handler, body string) (*server.JobStatus, error) {
+	st, err := jobsSubmit(h, body)
+	if err != nil {
+		return nil, err
+	}
+	return jobsAwait(h, st.ID)
+}
+
+// JobsBench measures the async job subsystem on in-process handlers: the
+// sync baseline and the cold-control leg run on their own handler so every
+// compared solve is cold, while the warm leg deliberately reuses the async
+// handler's job store to get the warm-start seed.
+func JobsBench(cfg Config) (*JobsBenchResult, error) {
+	cfg = cfg.withDefaults()
+	const (
+		baseFloor      = 25000
+		perturbedFloor = 24800
+	)
+	baseBody := jobsBody(cfg.Scale, cfg.Seed, baseFloor)
+	perturbedBody := jobsBody(cfg.Scale, cfg.Seed, perturbedFloor)
+
+	asyncH := server.NewHandler(server.Config{Registry: obs.New()})
+	coldH := server.NewHandler(server.Config{Registry: obs.New()})
+
+	out := &JobsBenchResult{Dataset: "2k", Scale: cfg.Scale, Seed: cfg.Seed}
+
+	// Async leg: submit the base request cold and collect the anytime
+	// profile from the event log.
+	submitStart := time.Now()
+	sub, err := jobsSubmit(asyncH, baseBody)
+	if err != nil {
+		return nil, err
+	}
+	out.SubmitMillis = float64(time.Since(submitStart).Microseconds()) / 1000
+	final, err := jobsAwait(asyncH, sub.ID)
+	if err != nil {
+		return nil, err
+	}
+	out.AsyncSeconds = time.Since(submitStart).Seconds()
+	evs, err := jobsEvents(asyncH, sub.ID)
+	if err != nil {
+		return nil, err
+	}
+	out.TotalEvents = len(evs)
+	for _, ev := range evs {
+		switch ev.Type {
+		case "incumbent":
+			if out.IncumbentEvents == 0 {
+				out.FirstIncumbentMs = ev.ElapsedMs
+			}
+			out.IncumbentEvents++
+			out.ConvergenceMs = ev.ElapsedMs
+		case "done":
+			out.FinalEventMatchesResult = final.Result != nil &&
+				ev.P == final.Result.P && ev.H == final.Result.HeteroAfter
+		}
+	}
+
+	// Sync baseline: the same body, cold, through POST /v1/solve on a fresh
+	// handler (the async handler's result cache now holds it).
+	syncStart := time.Now()
+	rec, err := jobsDo(coldH, http.MethodPost, "/v1/solve", baseBody)
+	if err != nil {
+		return nil, err
+	}
+	if rec.status != http.StatusOK {
+		return nil, fmt.Errorf("jobsbench: sync status %d: %s", rec.status, rec.body.String())
+	}
+	out.SyncSeconds = time.Since(syncStart).Seconds()
+
+	// Warm leg: the perturbed floor on the async handler warm-starts from the
+	// base job's partition; the same request on the cold handler is the
+	// control (its store has no job on this dataset key).
+	warm, err := jobsRun(asyncH, perturbedBody)
+	if err != nil {
+		return nil, err
+	}
+	out.WarmFromSet = warm.WarmFrom != ""
+	cold, err := jobsRun(coldH, perturbedBody)
+	if err != nil {
+		return nil, err
+	}
+	if warm.Result == nil || cold.Result == nil {
+		return nil, fmt.Errorf("jobsbench: warm leg missing results")
+	}
+	out.WarmP, out.WarmMoves, out.WarmHetero = warm.Result.P, warm.Result.TabuMoves, warm.Result.HeteroAfter
+	out.ColdP, out.ColdMoves, out.ColdHetero = cold.Result.P, cold.Result.TabuMoves, cold.Result.HeteroAfter
+	if out.ColdMoves > 0 {
+		out.WarmMovesSavedPct = 100 * float64(out.ColdMoves-out.WarmMoves) / float64(out.ColdMoves)
+	}
+	return out, nil
+}
+
+// WriteJobsBench runs JobsBench and writes the JSON artifact.
+func WriteJobsBench(cfg Config, path string) (*JobsBenchResult, error) {
+	res, err := JobsBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("jobsbench: %w", err)
+	}
+	return res, nil
+}

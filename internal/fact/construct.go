@@ -36,8 +36,11 @@ type builder struct {
 // construct runs one full construction iteration (Steps 1-3) and returns
 // the resulting partition. The context is checked between sweeps; a
 // cancelled construction abandons the partial partition and returns the
-// context error.
-func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand) (*region.Partition, error) {
+// context error. With warm set, Step 2's region growing is replaced by
+// seeding from cfg.WarmStart (see warm.go); the repair substeps run either
+// way, so a warm seed under a perturbed constraint set is fixed up, not
+// trusted blindly.
+func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand, warm bool) (*region.Partition, error) {
 	var p *region.Partition
 	if art := cfg.preparedFor(ds); art != nil {
 		// Prepared dataset: reuse the shared dissimilarity matrix, rank
@@ -69,7 +72,11 @@ func construct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, 
 			break
 		}
 	}
-	b.growRegions()        // Step 2 (Step 1's filtering/seeding is in feas)
+	if warm {
+		b.growRegionsWarm() // Step 2 seeded from cfg.WarmStart (warm.go)
+	} else {
+		b.growRegions() // Step 2 (Step 1's filtering/seeding is in feas)
+	}
 	b.adjustCounting()     // Step 3
 	b.dissolveInfeasible() // finalize: drop regions that could not be fixed
 	if b.faultErr != nil {

@@ -125,6 +125,22 @@ type Config struct {
 	// differential test pins this); an artifact prepared from a different
 	// dataset is ignored. See internal/prep.
 	Prepared *prep.Artifact
+	// WarmStart, when its length equals the dataset size, seeds the first
+	// construction iteration from a prior assignment (area index → region
+	// label, -1 unassigned) instead of growing regions from scratch: each
+	// label's areas become seed regions (split into connected pieces, invalid
+	// areas dropped), regions violating the new constraint set's AVG range
+	// dissolve, and the standard enclave-assignment, extrema-combination and
+	// counting-adjustment repairs run. Under the seed's own constraint set
+	// the warm iteration reproduces the seed partition, so the solve is never
+	// worse than its seed (pinned by a differential test); under a perturbed
+	// set it repairs only what broke. Re-roll iterations (Iterations > 1)
+	// stay cold, preserving multi-start diversity. In-process only (the
+	// async jobs layer wires it from retained job results): it has no wire
+	// form and never participates in cache fingerprints. Ignored — with the
+	// label indexing this implies — by cut- and component-sharded sub-solves,
+	// whose areas index their shard, not the whole dataset.
+	WarmStart []int
 }
 
 // LocalSearch selects the phase-3 improvement algorithm.
@@ -385,6 +401,11 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 			return true
 		}
 	}
+	// Warm starting engages only on the first iteration (the one under the
+	// full deadline): it is the "resume from the prior incumbent" slot, while
+	// re-rolls keep their cold multi-start diversity. A WarmStart of the
+	// wrong length is ignored wholesale — it indexes a different dataset.
+	warmOK := len(cfg.WarmStart) == ds.N()
 	if workers == 1 {
 		for it := 0; it < cfg.Iterations; it++ {
 			ic := iterCtx(it)
@@ -392,7 +413,7 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 				break
 			}
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
-			p, err := safeConstruct(ic, ds, ev, feas, &cfg, rng)
+			p, err := safeConstruct(ic, ds, ev, feas, &cfg, rng, warmOK && it == 0)
 			if recordIter(it, p, err) {
 				break
 			}
@@ -415,7 +436,7 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 				defer wg.Done()
 				defer func() { <-sem }()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(it)))
-				p, err := safeConstruct(iterCtx(it), ds, ev, feas, &cfg, rng)
+				p, err := safeConstruct(iterCtx(it), ds, ev, feas, &cfg, rng, warmOK && it == 0)
 				mu.Lock()
 				defer mu.Unlock()
 				recordIter(it, p, err)
@@ -559,14 +580,14 @@ var errConstructPanic = errors.New("fact: construction iteration panicked")
 // safeConstruct runs one construction iteration under recover, converting a
 // panic (injected or organic) into an error wrapping errConstructPanic so a
 // single poisoned multi-start iteration cannot crash the process.
-func safeConstruct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand) (p *region.Partition, err error) {
+func safeConstruct(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator, feas *Feasibility, cfg *Config, rng *rand.Rand, warm bool) (p *region.Partition, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			met.panicsRecovered.Inc()
 			p, err = nil, fmt.Errorf("%w: %v", errConstructPanic, v)
 		}
 	}()
-	return construct(ctx, ds, ev, feas, cfg, rng)
+	return construct(ctx, ds, ev, feas, cfg, rng, warm)
 }
 
 // firstNonEmpty returns the first non-empty string, for error detail.

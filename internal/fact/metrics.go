@@ -13,6 +13,7 @@ type pkgMetrics struct {
 	degraded        *obs.Counter
 	shardRetries    *obs.Counter
 	panicsRecovered *obs.Counter
+	warmStarts      *obs.Counter
 	spanFeas        *obs.Timer
 	spanCons        *obs.Timer
 	spanSearch      *obs.Timer
@@ -56,6 +57,8 @@ func SetMetrics(r *obs.Registry) {
 			"Shard sub-solve attempts beyond the first (transient failures retried with backoff)."),
 		panicsRecovered: r.Counter("emp_panics_recovered_total",
 			"Panics recovered at shard and multi-start isolation boundaries."),
+		warmStarts: r.Counter("emp_solve_warmstart_total",
+			"Construction iterations seeded from a prior partition (Config.WarmStart)."),
 		spanFeas:   r.Timer(`emp_solve_phase_duration{phase="feasibility"}`, phaseHelp),
 		spanCons:   r.Timer(`emp_solve_phase_duration{phase="construction"}`, phaseHelp),
 		spanSearch: r.Timer(`emp_solve_phase_duration{phase="local_search"}`, phaseHelp),

@@ -159,6 +159,9 @@ func runSubSolves(subCtx, spanCtx context.Context, plan *shard.Plan, subArts []*
 		sub.ShardWorkers = 0
 		sub.CutShards = 0
 		sub.CutWorkers = 0
+		// A warm-start assignment indexes the whole dataset; shard datasets
+		// renumber areas, so it must not leak into sub-solves.
+		sub.WarmStart = nil
 		sub.Seed = shardSeed(cfg.Seed, i)
 		// The parent artifact indexes by global area ids; hand each shard
 		// its own sub-artifact (or nothing).

@@ -1,0 +1,111 @@
+package fact
+
+import "emp/internal/region"
+
+// Warm-started construction: Step 2's region growing replaced by re-seeding
+// from a prior partition (Config.WarmStart), used by the async serving layer
+// to resume work on a dataset whose constraint set changed slightly since a
+// retained solve. The invariant the repair pipeline below maintains:
+//
+//   - under the seed's own constraint set, every seeded region is already
+//     valid, so no dissolve fires, no repair changes anything, and the warm
+//     iteration reproduces the seed partition exactly — the solve's result
+//     is then never worse than its seed (the best-candidate pick orders by
+//     p then H, and the local search only improves H);
+//   - under a perturbed set, only the regions the perturbation broke are
+//     dissolved or adjusted, so construction cost scales with the size of
+//     the change, not the dataset.
+
+// growRegionsWarm is the warm-start replacement of growRegions: seed regions
+// from the prior assignment, dissolve what the current constraint set
+// rejects outright, then run the standard Substep 2.2/2.3 repairs so freed
+// and previously-unassigned areas find homes.
+func (b *builder) growRegionsWarm() {
+	met.warmStarts.Inc()
+	b.seedWarmStart()
+	b.dissolveWarmViolators()
+	b.assignEnclavesRound1()
+	b.assignEnclavesRound2()
+	b.combineForExtrema()
+}
+
+// seedWarmStart rebuilds regions from the prior assignment. Areas sharing a
+// label become one region per connected piece (a label whose areas are no
+// longer contiguous — e.g. after invalid-area filtering under the new set —
+// splits rather than seeding a discontiguous region); unlabeled (-1) and
+// invalid areas stay unassigned. Deterministic: areas are scanned in
+// ascending id order and each piece is collected by BFS over the CSR
+// adjacency, whose neighbor order is fixed.
+func (b *builder) seedWarmStart() {
+	labels := b.cfg.WarmStart
+	n := b.ds.N()
+	visited := make([]bool, n)
+	queue := make([]int, 0, 64)
+	piece := make([]int, 0, 64)
+	for a := 0; a < n; a++ {
+		if visited[a] || labels[a] < 0 || b.feas.Invalid[a] {
+			continue
+		}
+		if b.stopped() {
+			return
+		}
+		label := labels[a]
+		visited[a] = true
+		queue = append(queue[:0], a)
+		piece = piece[:0]
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			piece = append(piece, v)
+			for _, nb32 := range b.g.Neighbors(v) {
+				nb := int(nb32)
+				if !visited[nb] && labels[nb] == label && !b.feas.Invalid[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		b.p.NewRegion(piece...)
+	}
+}
+
+// dissolveWarmViolators drops seeded regions whose AVG value lies outside
+// the current range: unlike counting and extrema violations, nothing
+// downstream repairs an out-of-range average (cold construction guarantees
+// it by growth), so these regions return their areas to the unassigned pool
+// for the enclave rounds to re-place. Runs before the repairs so the freed
+// areas are available to them.
+func (b *builder) dissolveWarmViolators() {
+	if b.avgIdx < 0 {
+		return
+	}
+	for _, id := range b.p.RegionIDs() {
+		r := b.p.Region(id)
+		if r != nil && !r.Tracker.Satisfied(b.avgIdx) {
+			b.p.DissolveRegion(id)
+		}
+	}
+}
+
+// WarmAssignment extracts a partition's assignment in WarmStart form
+// (region labels densified to 0..p-1 in RegionIDs order, -1 unassigned),
+// the shape Config.WarmStart consumes.
+func WarmAssignment(p *region.Partition) []int {
+	if p == nil {
+		return nil
+	}
+	idx := make(map[int]int)
+	for i, id := range p.RegionIDs() {
+		idx[id] = i
+	}
+	out := make([]int, p.Dataset().N())
+	for a := range out {
+		id := p.Assignment(a)
+		if id == region.Unassigned {
+			out[a] = -1
+		} else {
+			out[a] = idx[id]
+		}
+	}
+	return out
+}

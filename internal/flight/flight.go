@@ -80,6 +80,22 @@ type Recorder struct {
 	lastH    float64
 	doneNs   int64 // elapsed at Finish, 0 while in flight
 	finished bool
+	tap      func(Sample)
+}
+
+// SetTap installs a callback invoked with every sample the recorder
+// captures, after it lands in the ring. The tap runs outside the recorder
+// mutex (a slow consumer delays the recording goroutine, never a concurrent
+// reader) and must be installed before the solve starts — it is not
+// synchronized against in-flight recording. The async jobs layer uses it to
+// stream incumbent improvements to watchers as they happen.
+func (r *Recorder) SetTap(fn func(Sample)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tap = fn
+	r.mu.Unlock()
 }
 
 // NewRecorder returns a recorder with the given ring capacity (DefaultSamples
@@ -105,17 +121,29 @@ func (r *Recorder) add(s sample) {
 	}
 }
 
+// export converts a packed sample to its exported form.
+func export(s sample) Sample {
+	return Sample{ElapsedNs: s.elapsedNs, P: int(s.p), H: s.h, Phase: s.phase.String(), Moves: int(s.moves)}
+}
+
 // SetPhase records a phase transition (stamped with the current incumbent).
 func (r *Recorder) SetPhase(p Phase) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	if p != r.phase {
-		r.phase = p
-		r.add(sample{elapsedNs: int64(time.Since(r.t0)), h: r.lastH, p: r.lastP, phase: p})
+	if p == r.phase {
+		r.mu.Unlock()
+		return
 	}
+	r.phase = p
+	s := sample{elapsedNs: int64(time.Since(r.t0)), h: r.lastH, p: r.lastP, phase: p}
+	r.add(s)
+	tap := r.tap
 	r.mu.Unlock()
+	if tap != nil {
+		tap(export(s))
+	}
 }
 
 // Improve records a new incumbent: current region count p, heterogeneity h
@@ -126,8 +154,13 @@ func (r *Recorder) Improve(p int, h float64, moves int) {
 	}
 	r.mu.Lock()
 	r.lastP, r.lastH = int32(p), h
-	r.add(sample{elapsedNs: int64(time.Since(r.t0)), h: h, p: int32(p), moves: int32(moves), phase: r.phase})
+	s := sample{elapsedNs: int64(time.Since(r.t0)), h: h, p: int32(p), moves: int32(moves), phase: r.phase}
+	r.add(s)
+	tap := r.tap
 	r.mu.Unlock()
+	if tap != nil {
+		tap(export(s))
+	}
 }
 
 // Finish records the final (p, H) — the values the response reports — and
@@ -142,8 +175,13 @@ func (r *Recorder) Finish(p int, h float64) {
 	el := int64(time.Since(r.t0))
 	r.doneNs = el
 	r.finished = true
-	r.add(sample{elapsedNs: el, h: h, p: int32(p), phase: PhaseDone})
+	s := sample{elapsedNs: el, h: h, p: int32(p), phase: PhaseDone}
+	r.add(s)
+	tap := r.tap
 	r.mu.Unlock()
+	if tap != nil {
+		tap(export(s))
+	}
 }
 
 // Status returns the current phase, elapsed time and incumbent (p, H).
@@ -169,11 +207,7 @@ func (r *Recorder) Curve() []Sample {
 	defer r.mu.Unlock()
 	out := make([]Sample, 0, len(r.buf))
 	for i := 0; i < len(r.buf); i++ {
-		s := r.buf[(r.head+i)%len(r.buf)]
-		out = append(out, Sample{
-			ElapsedNs: s.elapsedNs, P: int(s.p), H: s.h,
-			Phase: s.phase.String(), Moves: int(s.moves),
-		})
+		out = append(out, export(r.buf[(r.head+i)%len(r.buf)]))
 	}
 	return out
 }

@@ -237,7 +237,10 @@ func (s *Store) Trace(id string) (*TraceDump, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
-	spans := append([]SpanRec(nil), e.spans...)
+	// The copy is non-nil even when no span has been captured yet (a solve
+	// Begin'd but still queued for a worker), so the dump's arrays encode as
+	// [] instead of null and clients always get a well-formed partial tree.
+	spans := append([]SpanRec{}, e.spans...)
 	dump := &TraceDump{
 		TraceID:      e.trace.String(),
 		Dataset:      e.dataset,

@@ -31,7 +31,8 @@ func BuildTree(spans []SpanRec) []*SpanNode {
 			byID[n.SpanID] = n
 		}
 	}
-	var roots []*SpanNode
+	// Non-nil so an empty tree (a solve with no spans yet) encodes as [].
+	roots := []*SpanNode{}
 	for _, n := range nodes {
 		if p, ok := byID[n.ParentID]; ok && n.ParentID != "" && p != n {
 			p.Children = append(p.Children, n)

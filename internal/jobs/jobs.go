@@ -1,0 +1,666 @@
+// Package jobs is the async solve job subsystem behind POST /v1/jobs: a
+// bounded in-memory job store with TTL eviction, byte-budgeted result
+// retention and a fingerprint index for duplicate-submit dedup, plus the
+// per-job event log that feeds the SSE/NDJSON streams of
+// GET /v1/jobs/{id}/events.
+//
+// The store owns job identity and lifecycle (queued → running → one of
+// done/failed/canceled); the HTTP layer owns execution (scheduler slots,
+// the solve itself) and calls the transition methods. Events arrive through
+// Job.AppendSample, wired as the flight recorder's tap, so the event stream
+// is exactly the convergence ring the /v1/debug introspection already
+// exposes — one sample source, two consumers.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"emp/internal/flight"
+)
+
+// State is a job's lifecycle position.
+type State uint8
+
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+var stateNames = [...]string{"queued", "running", "done", "failed", "canceled"}
+
+// String returns the lowercase wire spelling of the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "unknown"
+}
+
+// Terminal reports whether the state is final (no further transitions).
+func (s State) Terminal() bool { return s >= StateDone }
+
+// Event is one entry of a job's event stream: an incumbent improvement, a
+// phase transition, or the terminal marker. Seq is the event's position in
+// the job's log; watchers resume from the sequence number they last saw.
+type Event struct {
+	Seq       int     `json:"seq"`
+	Type      string  `json:"type"` // "incumbent" | "phase" | "done"
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Phase     string  `json:"phase,omitempty"`
+	P         int     `json:"p"`
+	H         float64 `json:"h"`
+	Moves     int     `json:"moves,omitempty"`
+	// State is set on the terminal "done" event only: the job's final state
+	// ("done", "failed" or "canceled"), so a stream consumer knows how the
+	// solve ended without a follow-up status GET.
+	State string `json:"state,omitempty"`
+}
+
+// maxEventsPerJob bounds one job's event log. A long search records an
+// improvement every few hundred moves; 4096 only trips on runaway emitters,
+// which the cap converts into a DroppedEvents count instead of memory growth.
+// The terminal event is always appended.
+const maxEventsPerJob = 4096
+
+// Errors the store reports to the submission path.
+var (
+	// ErrTooManyJobs rejects a submit when MaxActive jobs are already
+	// queued or running; the HTTP layer maps it onto 429.
+	ErrTooManyJobs = errors.New("jobs: too many active jobs")
+)
+
+// Config tunes the store. The zero value is usable.
+type Config struct {
+	// TTL is how long a finished job (and its retained result) stays
+	// fetchable after it reaches a terminal state; 0 means DefaultTTL.
+	TTL time.Duration
+	// RetainBytes budgets the results retained across finished jobs;
+	// oldest-finished evict first past it. 0 means DefaultRetainBytes.
+	RetainBytes int64
+	// MaxActive bounds queued+running jobs; 0 means DefaultMaxActive.
+	MaxActive int
+	// Now is the clock, for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Store defaults (see docs/JOBS.md for sizing rationale).
+const (
+	// DefaultTTL keeps finished jobs fetchable long enough for a client
+	// polling at human timescales to collect its result.
+	DefaultTTL = 15 * time.Minute
+	// DefaultRetainBytes holds hundreds of 50k-area assignments.
+	DefaultRetainBytes = 64 << 20
+	// DefaultMaxActive bounds admitted-but-unfinished jobs; admission
+	// control for the async path (the sync path's queue bound does not
+	// apply — jobs wait for workers as long as they live).
+	DefaultMaxActive = 64
+)
+
+// Store is the bounded job registry. All exported methods are safe for
+// concurrent use.
+type Store struct {
+	ttl       time.Duration
+	retain    int64
+	maxActive int
+	now       func() time.Time
+
+	mu        sync.Mutex
+	byID      map[string]*Job
+	byFP      map[string]*Job // active (non-terminal) jobs by fingerprint
+	warmByKey map[string]*Job // newest finished job with a warm seed, per dataset key
+	done      []*Job          // finish order, oldest first
+	doneBytes int64
+	active    int
+}
+
+// NewStore builds a store from the config.
+func NewStore(cfg Config) *Store {
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.RetainBytes <= 0 {
+		cfg.RetainBytes = DefaultRetainBytes
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = DefaultMaxActive
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Store{
+		ttl:       cfg.TTL,
+		retain:    cfg.RetainBytes,
+		maxActive: cfg.MaxActive,
+		now:       cfg.Now,
+		byID:      make(map[string]*Job),
+		byFP:      make(map[string]*Job),
+		warmByKey: make(map[string]*Job),
+	}
+}
+
+// Job is one tracked solve. Identity fields are immutable after creation;
+// lifecycle state is guarded by the store mutex, the event log by its own
+// mutex (AppendSample runs on the solve goroutine at improvement granularity
+// and must not contend with store-wide operations).
+type Job struct {
+	id          string
+	fingerprint string
+	datasetKey  string
+	dataset     string // display label ("2k", "inline")
+	created     time.Time
+
+	store *Store
+
+	// Guarded by store.mu.
+	state     State
+	started   time.Time
+	finished  time.Time
+	cancel    func()
+	traceID   string
+	rec       *flight.Recorder
+	result    any
+	cost      int64
+	warmSeed  []int
+	warmFrom  string // id of the job whose result seeded this one
+	errStatus int
+	errMsg    string
+
+	// Event log, guarded by evMu.
+	evMu      sync.Mutex
+	events    []Event
+	dropped   int
+	closed    bool // terminal event appended; no more samples accepted
+	lastP     int
+	lastH     float64
+	hasSample bool
+	notify    chan struct{} // closed-and-replaced on every append
+}
+
+// newID returns a 16-hex-char random job id. IDs are capability-ish tokens
+// (anyone with the id can watch or cancel the job) so they come from
+// crypto/rand; on entropy failure the store falls back to a clock-derived id
+// rather than refusing work.
+func (s *Store) newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		v := uint64(s.now().UnixNano())
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit registers a new job for the fingerprint, or returns the active job
+// already running it (dup=true): duplicate submits attach to one solve, like
+// the sync path's singleflight. ErrTooManyJobs rejects past MaxActive.
+func (s *Store) Submit(fingerprint, datasetKey, dataset string) (j *Job, dup bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	if existing, ok := s.byFP[fingerprint]; ok {
+		return existing, true, nil
+	}
+	if s.active >= s.maxActive {
+		return nil, false, ErrTooManyJobs
+	}
+	j = s.newJobLocked(fingerprint, datasetKey, dataset)
+	j.state = StateQueued
+	s.byFP[fingerprint] = j
+	s.active++
+	return j, false, nil
+}
+
+// SubmitDone registers a job that is done on arrival: its fingerprint hit
+// the result cache, so the job is born terminal with the cached result and
+// a single "done" event. It never counts against MaxActive.
+func (s *Store) SubmitDone(fingerprint, datasetKey, dataset string, result any, cost int64, warmSeed []int, p int, h float64) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	j := s.newJobLocked(fingerprint, datasetKey, dataset)
+	j.state = StateDone
+	j.started = j.created
+	j.finished = j.created
+	j.result = result
+	j.cost = cost
+	j.setWarmSeedLocked(warmSeed)
+	j.closeEvents(StateDone, p, h, 0)
+	s.retireLocked(j)
+	return j
+}
+
+// newJobLocked allocates and indexes a job. Caller holds s.mu.
+func (s *Store) newJobLocked(fingerprint, datasetKey, dataset string) *Job {
+	id := s.newID()
+	for s.byID[id] != nil { // vanishing collision odds, but ids must be unique
+		id = s.newID()
+	}
+	j := &Job{
+		id:          id,
+		fingerprint: fingerprint,
+		datasetKey:  datasetKey,
+		dataset:     dataset,
+		created:     s.now(),
+		store:       s,
+		notify:      make(chan struct{}),
+	}
+	s.byID[id] = j
+	return j
+}
+
+// Get returns the job by id; false when unknown or expired. Expiry is
+// enforced lazily here and on submits, so a TTL-expired job disappears on
+// its next lookup even if nothing else churns the store.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Active returns the number of queued or running jobs.
+func (s *Store) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Jobs returns every tracked job, oldest-created first.
+func (s *Store) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	out := make([]*Job, 0, len(s.byID))
+	for _, j := range s.byID {
+		out = append(out, j)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: the store holds dozens, not millions
+		for k := i; k > 0 && less(out[k], out[k-1]); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+func less(a, b *Job) bool {
+	if !a.created.Equal(b.created) {
+		return a.created.Before(b.created)
+	}
+	return a.id < b.id
+}
+
+// SetCancel installs the job's cancellation hook (the solve context's
+// cancel func). Installed by the runner before it starts executing; Cancel
+// invokes it.
+func (s *Store) SetCancel(j *Job, fn func()) {
+	s.mu.Lock()
+	j.cancel = fn
+	s.mu.Unlock()
+}
+
+// SetTrace records the job's solve trace id (the /v1/debug/trace handle).
+func (s *Store) SetTrace(j *Job, traceID string) {
+	s.mu.Lock()
+	j.traceID = traceID
+	s.mu.Unlock()
+}
+
+// SetRecorder attaches the solve's flight recorder for live status reads.
+func (s *Store) SetRecorder(j *Job, rec *flight.Recorder) {
+	s.mu.Lock()
+	j.rec = rec
+	s.mu.Unlock()
+}
+
+// SetWarmFrom marks the job as warm-started from a prior job's partition.
+func (s *Store) SetWarmFrom(j *Job, seedJobID string) {
+	s.mu.Lock()
+	j.warmFrom = seedJobID
+	s.mu.Unlock()
+}
+
+// Start transitions queued → running; false when the job was canceled while
+// queued (the runner must release its slot and walk away).
+func (s *Store) Start(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = s.now()
+	return true
+}
+
+// Finish transitions the job to done with its retained result. warmSeed is
+// the final assignment, indexed by the store's warm-start lookup for later
+// submissions on the same dataset. No-op when the job is already terminal
+// (a cancel won the race).
+func (s *Store) Finish(j *Job, result any, cost int64, warmSeed []int, p int, h float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	moves := j.lastMoves()
+	j.state = StateDone
+	j.finished = s.now()
+	j.result = result
+	j.cost = cost
+	j.setWarmSeedLocked(warmSeed)
+	j.closeEvents(StateDone, p, h, moves)
+	s.retireLocked(j)
+}
+
+// Fail transitions the job to failed with the error the status endpoint
+// reports. No-op when already terminal (e.g. canceled: the runner's 499
+// mapping must not overwrite the canceled state).
+func (s *Store) Fail(j *Job, status int, msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = StateFailed
+	j.finished = s.now()
+	j.errStatus = status
+	j.errMsg = msg
+	p, h := j.lastIncumbent()
+	j.closeEvents(StateFailed, p, h, j.lastMoves())
+	s.retireLocked(j)
+}
+
+// Cancel marks the job canceled and fires its cancellation hook. Returns the
+// job's state after the call and whether the id was known: canceling an
+// already-terminal job is a no-op that reports the terminal state.
+func (s *Store) Cancel(id string) (State, bool) {
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	if j.state.Terminal() {
+		st := j.state
+		s.mu.Unlock()
+		return st, true
+	}
+	cancel := j.cancel
+	j.state = StateCanceled
+	j.finished = s.now()
+	p, h := j.lastIncumbent()
+	j.closeEvents(StateCanceled, p, h, j.lastMoves())
+	s.retireLocked(j)
+	s.mu.Unlock()
+	// Fire outside the lock: the hook cancels a context, which may run
+	// arbitrary AfterFunc-style callbacks.
+	if cancel != nil {
+		cancel()
+	}
+	return StateCanceled, true
+}
+
+// WarmSeed returns the retained final assignment of the newest finished job
+// on the dataset key, for seeding a new solve's construction — unless that
+// job IS the submission (same fingerprint: identical requests warm-starting
+// from themselves would be a no-op pretending to be one). The returned slice
+// is shared read-only; callers must not mutate it.
+func (s *Store) WarmSeed(datasetKey, excludeFingerprint string) (seed []int, jobID string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	j := s.warmByKey[datasetKey]
+	if j == nil || j.fingerprint == excludeFingerprint {
+		return nil, "", false
+	}
+	return j.warmSeed, j.id, true
+}
+
+// setWarmSeedLocked stores the final assignment and indexes it for
+// warm-start lookups. Caller holds store.mu.
+func (j *Job) setWarmSeedLocked(seed []int) {
+	if len(seed) == 0 {
+		return
+	}
+	j.warmSeed = seed
+	j.store.warmByKey[j.datasetKey] = j
+}
+
+// retireLocked moves a job out of the active set into the finished FIFO and
+// evicts past the retention budget. Caller holds s.mu.
+func (s *Store) retireLocked(j *Job) {
+	if cur, ok := s.byFP[j.fingerprint]; ok && cur == j {
+		delete(s.byFP, j.fingerprint)
+		s.active--
+	}
+	j.cancel = nil
+	s.done = append(s.done, j)
+	s.doneBytes += j.retainedCost()
+	for len(s.done) > 0 && s.doneBytes > s.retain {
+		s.evictLocked(s.done[0])
+	}
+}
+
+// retainedCost approximates the finished job's resident bytes against the
+// retention budget: the result dominates, the event log rides along.
+func (j *Job) retainedCost() int64 {
+	j.evMu.Lock()
+	n := len(j.events)
+	j.evMu.Unlock()
+	return j.cost + int64(len(j.warmSeed))*8 + int64(n)*64 + 256
+}
+
+// evictLocked drops a finished job entirely. Caller holds s.mu.
+func (s *Store) evictLocked(j *Job) {
+	for i, d := range s.done {
+		if d == j {
+			s.done = append(s.done[:i], s.done[i+1:]...)
+			s.doneBytes -= j.retainedCost()
+			break
+		}
+	}
+	delete(s.byID, j.id)
+	if s.warmByKey[j.datasetKey] == j {
+		delete(s.warmByKey, j.datasetKey)
+	}
+}
+
+// sweepLocked evicts finished jobs past their TTL. Caller holds s.mu.
+func (s *Store) sweepLocked() {
+	cutoff := s.now().Add(-s.ttl)
+	for len(s.done) > 0 && s.done[0].finished.Before(cutoff) {
+		s.evictLocked(s.done[0])
+	}
+}
+
+// Stats summarizes the store for the debug/cache view and metrics.
+type Stats struct {
+	Active      int   `json:"active"`
+	Retained    int   `json:"retained"`
+	RetainBytes int64 `json:"retain_bytes"`
+	UsedBytes   int64 `json:"used_bytes"`
+}
+
+// StoreStats returns occupancy numbers.
+func (s *Store) StoreStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Active: s.active, Retained: len(s.done), RetainBytes: s.retain, UsedBytes: s.doneBytes}
+}
+
+// ---- Job accessors (immutable or store-mutex-guarded reads) ----
+
+// ID returns the job id.
+func (j *Job) ID() string { return j.id }
+
+// Fingerprint returns the solve fingerprint the job was submitted under.
+func (j *Job) Fingerprint() string { return j.fingerprint }
+
+// Dataset returns the display label of the job's dataset.
+func (j *Job) Dataset() string { return j.dataset }
+
+// Snapshot is a consistent read of the job's lifecycle state.
+type Snapshot struct {
+	ID        string
+	State     State
+	Dataset   string
+	TraceID   string
+	WarmFrom  string
+	Created   time.Time
+	Started   time.Time
+	Finished  time.Time
+	Result    any
+	ErrStatus int
+	ErrMsg    string
+	Recorder  *flight.Recorder
+	Events    int
+}
+
+// Snapshot returns the job's current lifecycle state in one consistent read.
+func (j *Job) Snapshot() Snapshot {
+	j.store.mu.Lock()
+	snap := Snapshot{
+		ID:        j.id,
+		State:     j.state,
+		Dataset:   j.dataset,
+		TraceID:   j.traceID,
+		WarmFrom:  j.warmFrom,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		Result:    j.result,
+		ErrStatus: j.errStatus,
+		ErrMsg:    j.errMsg,
+		Recorder:  j.rec,
+	}
+	j.store.mu.Unlock()
+	j.evMu.Lock()
+	snap.Events = len(j.events)
+	j.evMu.Unlock()
+	return snap
+}
+
+// ---- Event log ----
+
+// AppendSample feeds one flight-recorder sample into the event log. It is
+// the recorder tap: called on the solve goroutine at improvement/phase
+// granularity. Samples that change the incumbent (p, H) become "incumbent"
+// events, others "phase" events; samples after the terminal event (a cancel
+// racing the solve's last improvements) are dropped.
+func (j *Job) AppendSample(s flight.Sample) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if j.closed {
+		return
+	}
+	typ := "phase"
+	if !j.hasSample || s.P != j.lastP || s.H != j.lastH {
+		typ = "incumbent"
+		if !j.hasSample && s.P == 0 && s.H == 0 {
+			// The first phase transition arrives before any incumbent
+			// exists; a (0, 0) incumbent would be noise.
+			typ = "phase"
+		}
+	}
+	if typ == "incumbent" {
+		j.lastP, j.lastH = s.P, s.H
+		j.hasSample = true
+	}
+	j.appendLocked(Event{
+		Type:      typ,
+		ElapsedMs: float64(s.ElapsedNs) / 1e6,
+		Phase:     s.Phase,
+		P:         s.P,
+		H:         s.H,
+		Moves:     s.Moves,
+	})
+}
+
+// appendLocked appends one event (capping the log) and wakes watchers.
+// Caller holds evMu.
+func (j *Job) appendLocked(ev Event) {
+	if len(j.events) >= maxEventsPerJob && ev.Type != "done" {
+		j.dropped++
+		return
+	}
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// closeEvents appends the terminal event and seals the log. Called by the
+// store's terminal transitions (under store.mu; evMu nests inside).
+func (j *Job) closeEvents(final State, p int, h float64, moves int) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	var elapsed float64
+	if n := len(j.events); n > 0 {
+		elapsed = j.events[n-1].ElapsedMs
+	}
+	j.appendLocked(Event{
+		Type:      "done",
+		ElapsedMs: elapsed,
+		Phase:     "done",
+		P:         p,
+		H:         h,
+		Moves:     moves,
+		State:     final.String(),
+	})
+}
+
+// lastIncumbent returns the best (p, H) the event log has seen, for
+// stamping terminal events of jobs that did not finish cleanly.
+func (j *Job) lastIncumbent() (int, float64) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	return j.lastP, j.lastH
+}
+
+// lastMoves returns the move count of the newest event.
+func (j *Job) lastMoves() int {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if n := len(j.events); n > 0 {
+		return j.events[n-1].Moves
+	}
+	return 0
+}
+
+// EventsSince returns the events at sequence >= since, a channel closed on
+// the next append, and whether the log is sealed (terminal event present).
+// The watcher loop is: drain the returned events, then either stop (sealed
+// and caught up) or wait on the channel. The channel is replaced on every
+// append, so a watcher never misses or double-sees an event — the sequence
+// numbers are the cursor.
+func (j *Job) EventsSince(since int) (evs []Event, next <-chan struct{}, sealed bool) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if since < 0 {
+		since = 0
+	}
+	if since < len(j.events) {
+		evs = append(evs, j.events[since:]...)
+	}
+	return evs, j.notify, j.closed
+}
+
+// DroppedEvents returns how many samples the cap discarded.
+func (j *Job) DroppedEvents() int {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	return j.dropped
+}

@@ -1,0 +1,324 @@
+package jobs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"emp/internal/flight"
+)
+
+// fakeClock is a mutable test clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestStore(t *testing.T, cfg Config) (*Store, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg.Now = clk.Now
+	return NewStore(cfg), clk
+}
+
+func TestSubmitDedupeByFingerprint(t *testing.T) {
+	s, _ := newTestStore(t, Config{})
+	j1, dup, err := s.Submit("fp-a", "ds-1", "2k")
+	if err != nil || dup {
+		t.Fatalf("first submit: dup=%v err=%v", dup, err)
+	}
+	j2, dup, err := s.Submit("fp-a", "ds-1", "2k")
+	if err != nil || !dup {
+		t.Fatalf("second submit: dup=%v err=%v", dup, err)
+	}
+	if j1 != j2 {
+		t.Fatalf("duplicate submit returned a different job: %s vs %s", j1.ID(), j2.ID())
+	}
+	if got := s.Active(); got != 1 {
+		t.Fatalf("active = %d, want 1 (dedup must not double-count)", got)
+	}
+	// A different fingerprint is a different job.
+	j3, dup, err := s.Submit("fp-b", "ds-1", "2k")
+	if err != nil || dup || j3 == j1 {
+		t.Fatalf("distinct fingerprint: job=%v dup=%v err=%v", j3.ID(), dup, err)
+	}
+	// Once the job finishes, the fingerprint frees up for a fresh run.
+	s.Finish(j1, "result", 10, []int{0, 0, 1}, 2, 5.0)
+	j4, dup, err := s.Submit("fp-a", "ds-1", "2k")
+	if err != nil || dup || j4 == j1 {
+		t.Fatalf("resubmit after finish: job=%v dup=%v err=%v", j4.ID(), dup, err)
+	}
+}
+
+func TestMaxActiveRejects(t *testing.T) {
+	s, _ := newTestStore(t, Config{MaxActive: 2})
+	if _, _, err := s.Submit("a", "k", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit("b", "k", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit("c", "k", "d"); err != ErrTooManyJobs {
+		t.Fatalf("third submit err = %v, want ErrTooManyJobs", err)
+	}
+	// Duplicate submits still attach while full.
+	if _, dup, err := s.Submit("a", "k", "d"); err != nil || !dup {
+		t.Fatalf("dup submit while full: dup=%v err=%v", dup, err)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	s, clk := newTestStore(t, Config{TTL: time.Minute})
+	j, _, _ := s.Submit("fp", "k", "d")
+	s.Start(j)
+	s.Finish(j, "res", 8, nil, 3, 1.5)
+	if _, ok := s.Get(j.ID()); !ok {
+		t.Fatal("finished job should be fetchable before TTL")
+	}
+	clk.Advance(59 * time.Second)
+	if _, ok := s.Get(j.ID()); !ok {
+		t.Fatal("job evicted before TTL elapsed")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := s.Get(j.ID()); ok {
+		t.Fatal("job still fetchable after TTL")
+	}
+}
+
+// TestTTLExpiryRacingGet hammers Get from many goroutines while the clock
+// crosses the TTL boundary: every call must return either (job, true) or
+// (_, false), never a torn state, and the store must stay consistent. Run
+// with -race.
+func TestTTLExpiryRacingGet(t *testing.T) {
+	s, clk := newTestStore(t, Config{TTL: time.Minute})
+	j, _, _ := s.Submit("fp", "k", "d")
+	s.Start(j)
+	s.Finish(j, "res", 8, nil, 3, 1.5)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 1000; i++ {
+				if got, ok := s.Get(j.ID()); ok {
+					if got.Snapshot().State != StateDone {
+						t.Error("fetched job not done")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 100; i++ {
+			clk.Advance(time.Second)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if _, ok := s.Get(j.ID()); ok {
+		t.Fatal("job survived well past TTL")
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	// Budget fits roughly two retained jobs (cost 1024 + overhead each).
+	s, _ := newTestStore(t, Config{RetainBytes: 3000})
+	var ids []string
+	for i, fp := range []string{"a", "b", "c"} {
+		j, _, err := s.Submit(fp, "k", "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start(j)
+		s.Finish(j, i, 1024, nil, 1, 0)
+		ids = append(ids, j.ID())
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatal("oldest finished job should have been evicted past the byte budget")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("job %s evicted though within budget", id)
+		}
+	}
+	st := s.StoreStats()
+	if st.Retained != 2 || st.UsedBytes > 3000 {
+		t.Fatalf("stats = %+v, want 2 retained within budget", st)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	s, _ := newTestStore(t, Config{})
+	j, _, _ := s.Submit("fp", "k", "d")
+	fired := false
+	s.SetCancel(j, func() { fired = true })
+	st, ok := s.Cancel(j.ID())
+	if !ok || st != StateCanceled {
+		t.Fatalf("cancel: state=%v ok=%v", st, ok)
+	}
+	if !fired {
+		t.Fatal("cancel hook did not fire")
+	}
+	// The runner observing the cancellation must not flip the state.
+	if s.Start(j) {
+		t.Fatal("Start succeeded on a canceled job")
+	}
+	s.Fail(j, 499, "canceled while queued")
+	if got := j.Snapshot().State; got != StateCanceled {
+		t.Fatalf("state after late Fail = %v, want canceled", got)
+	}
+	// Terminal event stream: exactly one sealed "done" event with the state.
+	evs, _, sealed := j.EventsSince(0)
+	if !sealed || len(evs) != 1 || evs[0].Type != "done" || evs[0].State != "canceled" {
+		t.Fatalf("events = %+v sealed=%v, want one terminal canceled event", evs, sealed)
+	}
+	// Cancel of a terminal job reports the state without changing anything.
+	if st, ok := s.Cancel(j.ID()); !ok || st != StateCanceled {
+		t.Fatalf("re-cancel: state=%v ok=%v", st, ok)
+	}
+}
+
+func TestEventLogReplayAndLive(t *testing.T) {
+	s, _ := newTestStore(t, Config{})
+	j, _, _ := s.Submit("fp", "k", "d")
+	s.Start(j)
+	j.AppendSample(flight.Sample{ElapsedNs: 1e6, P: 0, H: 0, Phase: "feasibility"})
+	j.AppendSample(flight.Sample{ElapsedNs: 2e6, P: 5, H: 100, Phase: "construction"})
+	j.AppendSample(flight.Sample{ElapsedNs: 3e6, P: 5, H: 90, Phase: "search", Moves: 10})
+
+	evs, next, sealed := j.EventsSince(0)
+	if sealed || len(evs) != 3 {
+		t.Fatalf("got %d events sealed=%v, want 3 live", len(evs), sealed)
+	}
+	if evs[0].Type != "phase" || evs[1].Type != "incumbent" || evs[2].Type != "incumbent" {
+		t.Fatalf("event types = %s/%s/%s", evs[0].Type, evs[1].Type, evs[2].Type)
+	}
+	// A same-(p,H) phase transition is a phase event, not a fake incumbent.
+	j.AppendSample(flight.Sample{ElapsedNs: 4e6, P: 5, H: 90, Phase: "search"})
+	select {
+	case <-next:
+	case <-time.After(time.Second):
+		t.Fatal("append did not wake the watcher channel")
+	}
+	evs, _, _ = j.EventsSince(3)
+	if len(evs) != 1 || evs[0].Type != "phase" || evs[0].Seq != 3 {
+		t.Fatalf("resumed events = %+v, want one phase event at seq 3", evs)
+	}
+	s.Finish(j, "res", 1, nil, 5, 90)
+	evs, _, sealed = j.EventsSince(4)
+	if !sealed || len(evs) != 1 || evs[0].Type != "done" || evs[0].State != "done" || evs[0].P != 5 {
+		t.Fatalf("terminal events = %+v sealed=%v", evs, sealed)
+	}
+	// Samples after sealing (a racing tap) are dropped silently.
+	j.AppendSample(flight.Sample{ElapsedNs: 9e6, P: 6, H: 1})
+	if evs, _, _ := j.EventsSince(5); len(evs) != 0 {
+		t.Fatalf("post-seal sample leaked: %+v", evs)
+	}
+}
+
+func TestWarmSeedIndex(t *testing.T) {
+	s, _ := newTestStore(t, Config{})
+	j1, _, _ := s.Submit("fp-1", "ds-A", "2k")
+	s.Start(j1)
+	s.Finish(j1, "res1", 10, []int{0, 1, 1}, 2, 4)
+
+	// Same dataset, different constraints (fingerprint) → warm seed found.
+	seed, fromID, ok := s.WarmSeed("ds-A", "fp-2")
+	if !ok || fromID != j1.ID() || len(seed) != 3 {
+		t.Fatalf("WarmSeed = %v %q %v", seed, fromID, ok)
+	}
+	// Identical fingerprint is excluded (that's a cache hit, not a warm start).
+	if _, _, ok := s.WarmSeed("ds-A", "fp-1"); ok {
+		t.Fatal("WarmSeed matched the excluded fingerprint")
+	}
+	// Unknown dataset key has no seed.
+	if _, _, ok := s.WarmSeed("ds-B", "fp-2"); ok {
+		t.Fatal("WarmSeed invented a seed for an unknown dataset")
+	}
+	// A newer finished job replaces the index entry.
+	j2, _, _ := s.Submit("fp-2", "ds-A", "2k")
+	s.Start(j2)
+	s.Finish(j2, "res2", 10, []int{1, 1, 0}, 2, 3)
+	if _, fromID, ok := s.WarmSeed("ds-A", "other"); !ok || fromID != j2.ID() {
+		t.Fatalf("warm index not updated: from=%q ok=%v", fromID, ok)
+	}
+}
+
+func TestSubmitDoneOnArrival(t *testing.T) {
+	s, _ := newTestStore(t, Config{})
+	j := s.SubmitDone("fp", "ds-A", "2k", "cached-result", 100, []int{0, 1}, 2, 7.5)
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Result != "cached-result" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := s.Active(); got != 0 {
+		t.Fatalf("done-on-arrival job counts active: %d", got)
+	}
+	evs, _, sealed := j.EventsSince(0)
+	if !sealed || len(evs) != 1 || evs[0].Type != "done" || evs[0].P != 2 || evs[0].H != 7.5 {
+		t.Fatalf("events = %+v sealed=%v", evs, sealed)
+	}
+	// It seeds warm starts for later jobs on the dataset.
+	if _, fromID, ok := s.WarmSeed("ds-A", "other-fp"); !ok || fromID != j.ID() {
+		t.Fatalf("done-on-arrival job not in warm index: %q %v", fromID, ok)
+	}
+}
+
+func TestConcurrentAppendAndWatch(t *testing.T) {
+	s, _ := newTestStore(t, Config{})
+	j, _, _ := s.Submit("fp", "k", "d")
+	s.Start(j)
+	const samples = 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= samples; i++ {
+			j.AppendSample(flight.Sample{ElapsedNs: int64(i), P: i, H: float64(samples - i)})
+		}
+		s.Finish(j, "res", 1, nil, samples, 0)
+	}()
+	// Watcher: follow the log to the terminal event, checking the cursor
+	// contract (no gaps, no duplicates).
+	seen := 0
+	for {
+		evs, next, sealed := j.EventsSince(seen)
+		for _, ev := range evs {
+			if ev.Seq != seen {
+				t.Fatalf("sequence gap: got %d want %d", ev.Seq, seen)
+			}
+			seen++
+		}
+		if sealed && len(evs) == 0 {
+			break
+		}
+		if len(evs) == 0 {
+			select {
+			case <-next:
+			case <-time.After(5 * time.Second):
+				t.Fatal("watcher starved")
+			}
+		}
+	}
+	<-done
+	if seen != samples+1 { // + terminal event
+		t.Fatalf("saw %d events, want %d", seen, samples+1)
+	}
+}

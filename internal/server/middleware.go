@@ -80,11 +80,16 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 func routeLabel(path string) string {
 	path = strings.TrimPrefix(path, "/v1")
 	switch path {
-	case "/solve", "/datasets", "/healthz", "/readyz", "/metrics":
+	case "/solve", "/datasets", "/healthz", "/readyz", "/metrics", "/jobs":
 		return path
 	default:
 		if strings.HasPrefix(path, "/debug/") {
 			return "/debug"
+		}
+		if strings.HasPrefix(path, "/jobs/") {
+			// /jobs/{id} and /jobs/{id}/events share the /jobs label: the id
+			// is data, not route surface.
+			return "/jobs"
 		}
 		return "other"
 	}

@@ -23,6 +23,7 @@ var optionExempt = map[string]bool{
 	"Objective": true, // function value: custom objectives are library-only
 	"ShardPool": true, // process-wide worker pool injected by the service
 	"Prepared":  true, // prepared-dataset artifact attached by the service; result-neutral
+	"WarmStart": true, // prior-partition seed injected by the async jobs layer, never client-supplied
 }
 
 // TestOptionsConfigRoundTrip pins the SolveOptions <-> fact.Config mapping

@@ -15,6 +15,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"emp/internal/constraint"
 	"emp/internal/fact"
 	"emp/internal/flight"
+	"emp/internal/jobs"
 	"emp/internal/obs"
 	"emp/internal/obswire"
 	"emp/internal/region"
@@ -69,6 +72,15 @@ type Config struct {
 	// FlightRecorderTraces caps how many finished solves the store retains;
 	// 0 means DefaultFlightRecorderTraces.
 	FlightRecorderTraces int
+	// JobTTL is how long a finished async job (POST /v1/jobs) stays
+	// fetchable; 0 means jobs.DefaultTTL.
+	JobTTL time.Duration
+	// JobRetainBytes budgets results retained across finished jobs; 0 means
+	// jobs.DefaultRetainBytes.
+	JobRetainBytes int64
+	// MaxActiveJobs bounds queued+running async jobs (submits past it get
+	// 429); 0 means jobs.DefaultMaxActive.
+	MaxActiveJobs int
 }
 
 // DefaultMaxBodyBytes is the POST /solve body limit when Config.MaxBodyBytes
@@ -124,6 +136,23 @@ type service struct {
 	// the /v1/debug/ introspection endpoints. It receives events as one arm
 	// of the registry's sink fan-out.
 	fstore *flight.Store
+
+	// Async job subsystem (POST /v1/jobs): the bounded job store plus the
+	// wait group that lets shutdown drain in-flight jobs (see DrainJobs).
+	jobs   *jobs.Store
+	jobsWG sync.WaitGroup
+
+	// emp_jobs_* metrics.
+	jobsSubmitted  *obs.Counter
+	jobsDeduped    *obs.Counter
+	jobsWarm       *obs.Counter
+	jobsDone       *obs.Counter
+	jobsFailed     *obs.Counter
+	jobsCanceled   *obs.Counter
+	jobsActive     *obs.Gauge
+	jobEventsSent  *obs.Counter
+	jobWatchers    *obs.Gauge
+	deprecatedHits func(path string) // bumps emp_deprecated_requests_total{path}
 }
 
 // SolveRequest is the POST /solve body.
@@ -249,6 +278,29 @@ func (sv *Service) SetDraining(d bool) { sv.s.draining.Store(d) }
 // Draining reports whether the service is refusing readiness.
 func (sv *Service) Draining() bool { return sv.s.draining.Load() }
 
+// InflightJobs returns the number of async jobs still queued or running.
+// Shutdown sequencing reads it: a draining instance should keep serving
+// until its jobs finish (or the drain budget expires).
+func (sv *Service) InflightJobs() int { return sv.s.jobs.Active() }
+
+// DrainJobs blocks until every in-flight async job has finished (its runner
+// goroutine returned) or the context expires; it reports whether the drain
+// completed. Call after SetDraining(true) — draining refuses new submits, so
+// the wait is monotone.
+func (sv *Service) DrainJobs(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		sv.s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // NewHandler builds the service's HTTP handler: the API routes wrapped in
 // request-id, access-log and metrics middleware. Callers that need the
 // runtime controls (readiness draining during shutdown) use New instead.
@@ -309,6 +361,26 @@ func New(cfg Config) *Service {
 	})
 	s.shardPool = solvecache.NewPool(s.sched.Workers())
 	s.fstore = flight.NewStore(cfg.FlightRecorderBytes, cfg.FlightRecorderTraces)
+	s.jobs = jobs.NewStore(jobs.Config{
+		TTL:         cfg.JobTTL,
+		RetainBytes: cfg.JobRetainBytes,
+		MaxActive:   cfg.MaxActiveJobs,
+	})
+	s.jobsSubmitted = reg.Counter("emp_jobs_submitted_total", "Async jobs accepted by POST /v1/jobs (including done-on-arrival cache hits).")
+	s.jobsDeduped = reg.Counter("emp_jobs_deduped_total", "Async submits attached to an already-active job with the same fingerprint.")
+	s.jobsWarm = reg.Counter("emp_jobs_warmstart_total", "Async jobs whose construction was seeded from a retained prior partition.")
+	s.jobsDone = reg.Counter("emp_jobs_done_total", "Async jobs finished successfully.")
+	s.jobsFailed = reg.Counter("emp_jobs_failed_total", "Async jobs that ended in failure.")
+	s.jobsCanceled = reg.Counter("emp_jobs_canceled_total", "Async jobs canceled by DELETE /v1/jobs/{id}.")
+	s.jobsActive = reg.Gauge("emp_jobs_active", "Async jobs currently queued or running.")
+	s.jobEventsSent = reg.Counter("emp_jobs_events_streamed_total", "Events written to /v1/jobs/{id}/events watchers (SSE and NDJSON).")
+	s.jobWatchers = reg.Gauge("emp_jobs_watchers", "Clients currently streaming /v1/jobs/{id}/events.")
+	s.deprecatedHits = func(path string) {
+		reg.Counter(
+			fmt.Sprintf("emp_deprecated_requests_total{path=%q}", path),
+			"Requests served on deprecated unversioned path aliases; migrate to /v1.",
+		).Inc()
+	}
 	// The flight store listens on the registry sink alongside whatever sink is
 	// already wired (obswire's JSONL stream, a test capture, or none): span
 	// events flow to both, so recorded traces match what external consumers
@@ -316,24 +388,80 @@ func New(cfg Config) *Service {
 	reg.SetSink(obswire.NewFanout(reg.Sink(), s.fstore))
 	mux := http.NewServeMux()
 	// The canonical surface lives under /v1/; the bare paths stay mounted as
-	// aliases for pre-versioning clients. Both prefixes hit the same
-	// handlers, so success responses are byte-identical and the route metric
-	// label is shared (routeLabel strips the version prefix).
-	for _, prefix := range []string{"", "/v1"} {
-		mux.HandleFunc(prefix+"/healthz", s.handleHealth)
-		mux.HandleFunc(prefix+"/readyz", s.handleReady)
-		mux.HandleFunc(prefix+"/datasets", s.handleDatasets)
-		mux.HandleFunc(prefix+"/solve", s.handleSolve)
-		mux.Handle(prefix+"/metrics", reg.MetricsHandler())
+	// DEPRECATED aliases for pre-versioning clients: same handlers (success
+	// responses stay byte-identical, the route metric label is shared —
+	// routeLabel strips the version prefix), but alias responses carry
+	// Deprecation/Link successor headers and bump
+	// emp_deprecated_requests_total{path}.
+	// GET /metrics is wrapped in a method guard at this layer so its 405s
+	// speak the JSON envelope like every other route (the obs handler's own
+	// plain-text 405 is library behavior the server does not re-export).
+	metricsH := s.allowMethods(reg.MetricsHandler(), http.MethodGet, http.MethodHead)
+	for _, rt := range []struct {
+		path string
+		h    http.Handler
+	}{
+		{"/healthz", s.allowMethods(http.HandlerFunc(s.handleHealth), http.MethodGet, http.MethodHead)},
+		{"/readyz", s.allowMethods(http.HandlerFunc(s.handleReady), http.MethodGet, http.MethodHead)},
+		{"/datasets", http.HandlerFunc(s.handleDatasets)},
+		{"/solve", http.HandlerFunc(s.handleSolve)},
+		{"/metrics", metricsH},
+	} {
+		mux.Handle("/v1"+rt.path, rt.h)
+		mux.Handle(rt.path, s.deprecated(rt.path, rt.h))
 	}
+	// The async job surface is /v1-only: it postdates versioning, so no
+	// pre-versioning client exists to need a bare alias.
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	// Introspection mounts only under the versioned prefix: the bare /debug/
 	// namespace traditionally belongs to pprof (cmd/empserve serves it on a
 	// separate listener), so aliasing there would invite collisions.
 	mux.HandleFunc("/v1/debug/solves", s.handleDebugSolves)
 	mux.HandleFunc("/v1/debug/trace/", s.handleDebugTrace)
 	mux.HandleFunc("/v1/debug/cache", s.handleDebugCache)
+	// Catch-all: unknown paths get the JSON envelope, not the mux's
+	// plain-text 404 — the envelope is exhaustive across the surface.
+	mux.HandleFunc("/", s.handleNotFound)
 	// Request-id first so the instrument layer (access log) sees the id.
 	return &Service{s: s, handler: withRequestID(s.instrument(mux))}
+}
+
+// deprecated wraps a bare-path alias handler: the response carries
+// `Deprecation: true` plus an RFC 8594 successor-version Link pointing at
+// the /v1 spelling, and the hit is counted per path so operators can find
+// clients still on the unversioned surface before removing it.
+func (s *service) deprecated(path string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path))
+		s.deprecatedHits(path)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// allowMethods guards a handler to the listed methods, answering everything
+// else with the enveloped 405 + Allow header.
+func (s *service) allowMethods(next http.Handler, methods ...string) http.Handler {
+	allow := strings.Join(methods, ", ")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, m := range methods {
+			if r.Method == m {
+				next.ServeHTTP(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", allow)
+		s.writeError(w, r, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed; use %s", r.Method, allow), nil)
+	})
+}
+
+// handleNotFound is the mux catch-all: every path outside the surface gets
+// the JSON envelope with code "not_found".
+func (s *service) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, r, http.StatusNotFound,
+		fmt.Sprintf("no such endpoint %s; see /v1 (docs/SERVING.md)", r.URL.Path), nil)
 }
 
 // Handler returns the service's HTTP handler with default settings (the
@@ -354,7 +482,13 @@ func (s *service) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body := map[string]string{"status": "draining"}
+		if n := s.jobs.Active(); n > 0 {
+			// Drain accounting: load balancers and the shutdown sequence can
+			// see how many async jobs the instance is still carrying.
+			body["active_jobs"] = strconv.Itoa(n)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	case s.sched.Saturated():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
 	default:
@@ -382,31 +516,32 @@ func (s *service) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; use POST", r.Method), nil)
-		return
-	}
-	var req SolveRequest
+// decodeSolveRequest decodes and validates a solve submission body — the
+// shared front door of POST /solve and POST /v1/jobs. It normalizes the seed
+// and timeout (so fingerprints computed from the returned request are
+// canonical), parses the constraint set, maps the options onto a solver
+// config and attaches the service-wide shard pool. On any error it writes the
+// enveloped response itself and reports ok=false.
+func (s *service) decodeSolveRequest(w http.ResponseWriter, r *http.Request) (req *SolveRequest, set constraint.Set, cfg fact.Config, ok bool) {
+	req = new(SolveRequest)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds the %d byte limit", tooLarge.Limit), nil)
-			return
+			return nil, nil, cfg, false
 		}
 		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), nil)
-		return
+		return nil, nil, cfg, false
 	}
 	switch {
 	case req.Dataset != nil && req.Named != "":
 		s.writeError(w, r, http.StatusBadRequest, "dataset and named are mutually exclusive", nil)
-		return
+		return nil, nil, cfg, false
 	case req.Dataset == nil && req.Named == "":
 		s.writeError(w, r, http.StatusBadRequest, "one of dataset or named is required", nil)
-		return
+		return nil, nil, cfg, false
 	}
 	// Scale semantics: 0 means "unset, use the full dataset"; anything else
 	// must be a genuine shrink factor. Previously scale >= 1 fell through
@@ -415,12 +550,12 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Scale != 0 && (req.Scale <= 0 || req.Scale >= 1) {
 		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Sprintf("scale must be in (0,1) exclusive, got %g; omit it (or send 0) for the full dataset", req.Scale), nil)
-		return
+		return nil, nil, cfg, false
 	}
 	if req.TimeoutMillis < 0 {
 		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Sprintf("timeout_ms must be non-negative, got %d", req.TimeoutMillis), nil)
-		return
+		return nil, nil, cfg, false
 	}
 	// Clamp before fingerprinting: the effective deadline shapes the result
 	// (a degraded answer under a tight budget must not be served to a
@@ -430,26 +565,40 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// (0, the max, anything above it) share one cache entry.
 	req.TimeoutMillis = clampTimeoutMillis(req.TimeoutMillis, s.maxTimeout)
 	req.Options.Seed = normalizeSeed(req.Options.Seed)
-	set, err := constraint.ParseSet(req.Constraints)
+	var err error
+	set, err = constraint.ParseSet(req.Constraints)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
-		return
+		return nil, nil, cfg, false
 	}
 	if len(set) == 0 {
 		s.writeError(w, r, http.StatusBadRequest, "no constraints given", nil)
-		return
+		return nil, nil, cfg, false
 	}
-	cfg, err := req.Options.Config()
+	cfg, err = req.Options.Config()
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
-		return
+		return nil, nil, cfg, false
 	}
 	// Sub-solve fan-out of sharded solves draws from the service-wide pool
 	// so the aggregate parallelism respects one worker budget no matter how
 	// many sharded solves run concurrently.
 	cfg.ShardPool = s.shardPool
+	return req, set, cfg, true
+}
 
-	fp := solveFingerprint(&req, set)
+func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; use POST", r.Method), nil)
+		return
+	}
+	req, set, cfg, ok := s.decodeSolveRequest(w, r)
+	if !ok {
+		return
+	}
+
+	fp := solveFingerprint(req, set)
 	if v, ok := s.resCache.Get(fp); ok {
 		s.writeSolveResponse(w, r, v.(*SolveResponse))
 		return
@@ -462,7 +611,7 @@ func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if sc.IsValid() {
 			fctx = obs.ContextWithSpan(fctx, sc)
 		}
-		return s.runSolve(fctx, &req, set, cfg, fp), nil
+		return s.runSolve(fctx, req, set, cfg, fp), nil
 	})
 	if shared {
 		s.dedups.Inc()

@@ -212,6 +212,20 @@ func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constrain
 		return &solveOutcome{status: statusClientClosed, errMsg: "solve canceled: client closed request"}
 	}
 	defer release()
+	oc := s.executeSolve(ctx, req, set, cfg)
+	if oc.resp != nil {
+		s.resCache.Add(fp, oc.resp, responseCost(oc.resp))
+	}
+	return oc
+}
+
+// executeSolve runs the solve proper once a worker slot is held: dataset
+// resolution, the deadline, the cancellable solve itself and the mapping of
+// solver errors onto HTTP outcomes. It deliberately does NOT touch the
+// result cache — the sync path caches in runSolve under the request
+// fingerprint, while the async job path (which may inject a WarmStart and so
+// produce a trajectory-dependent result) decides caching itself.
+func (s *service) executeSolve(ctx context.Context, req *SolveRequest, set constraint.Set, cfg fact.Config) *solveOutcome {
 	art, err := s.datasetFor(ctx, req)
 	if err != nil {
 		return &solveOutcome{status: http.StatusBadRequest, errMsg: err.Error()}
@@ -245,7 +259,6 @@ func (s *service) runSolve(ctx context.Context, req *SolveRequest, set constrain
 		}
 	}
 	resp := buildResponse(res)
-	s.resCache.Add(fp, &resp, responseCost(&resp))
 	return &solveOutcome{status: http.StatusOK, resp: &resp}
 }
 

@@ -88,6 +88,9 @@ func TestV1RouteMetricsShared(t *testing.T) {
 		{"/v1/metrics", "/metrics"},
 		{"/v1/healthz", "/healthz"},
 		{"/v1/datasets", "/datasets"},
+		{"/v1/jobs", "/jobs"},
+		{"/v1/jobs/0a1b2c3d4e5f6071", "/jobs"},
+		{"/v1/jobs/0a1b2c3d4e5f6071/events", "/jobs"},
 		{"/v1/unknown", "other"},
 		{"/v1", "other"},
 		{"/other", "other"},
