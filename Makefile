@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-cut bench-fault bench-prep bench-jobs
+.PHONY: build test race vet fmt-check staticcheck check chaos recovery bench bench-smoke bench-tabu bench-obs bench-serve bench-shard bench-cut bench-fault bench-prep bench-jobs bench-recovery
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,18 @@ check: vet staticcheck race
 chaos:
 	$(GO) test -race -run 'TestChaos|TestConstructionBudget|TestReadiness|TestSolveTimeout|TestSolveDeadline504|TestSolveDegraded|TestSolveDatasetGenerationRetry|TestSchedulerSaturated' \
 		./internal/fact/ ./internal/server/ ./internal/solvecache/
-	$(GO) test -race ./internal/fault/
+	$(GO) test -race ./internal/fault/ ./internal/durable/
+
+# recovery runs the durable-state suite under the race detector: the journal /
+# checkpoint / snapshot unit tests plus the server recovery scenarios — torn
+# journal tails, corrupt snapshots, mismatched-fingerprint checkpoints,
+# snapshot-write failures — and the kill -9 harness, which re-execs the test
+# binary as a real listening server, SIGKILLs it mid-search after the first
+# checkpoint lands, and asserts the restarted server resumes the job from that
+# checkpoint never worse than the incumbent it carried. See docs/ROBUSTNESS.md.
+recovery:
+	$(GO) test -race -run 'TestRecovery|TestReadyzRecovering' ./internal/server/
+	$(GO) test -race ./internal/durable/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -92,6 +103,14 @@ bench-fault:
 # keeps it CI-grade; see docs/JOBS.md for what the legs mean.
 bench-jobs:
 	$(GO) run ./cmd/empbench -benchjobs
+
+# bench-recovery regenerates BENCH_recovery.json (durable state: restored-boot
+# snapshot hit rate and serve speedup, warm seeds surviving a restart, and the
+# checkpoint-resume leg — tabu moves saved versus a cold re-solve with the
+# never-worse incumbent check). The default scale keeps it CI-grade; see
+# docs/ROBUSTNESS.md for what the legs mean.
+bench-recovery:
+	$(GO) run ./cmd/empbench -benchrecovery
 
 # bench-prep regenerates BENCH_prep.json (prepared-dataset artifact: solve
 # latency prepared vs unprepared, cold-request throughput, result identity,

@@ -45,6 +45,7 @@ func main() {
 		benchFault = flag.Bool("benchfault", false, "run the fault-injection/degradation benchmark and write BENCH_fault.json")
 		benchPrep  = flag.Bool("benchprep", false, "run the prepared-dataset artifact benchmark and write BENCH_prep.json")
 		benchJobs  = flag.Bool("benchjobs", false, "run the async job API benchmark and write BENCH_jobs.json")
+		benchRecov = flag.Bool("benchrecovery", false, "run the durable-state recovery benchmark and write BENCH_recovery.json")
 		trace      = flag.String("trace", "", "write solver telemetry events as JSONL to this file")
 	)
 	flag.Parse()
@@ -154,6 +155,20 @@ func main() {
 			res.FirstIncumbentMs, res.ConvergenceMs, res.IncumbentEvents, res.FinalEventMatchesResult,
 			res.WarmMoves, res.ColdMoves, res.WarmMovesSavedPct, res.WarmFromSet)
 		fmt.Println("wrote BENCH_jobs.json")
+		return
+	}
+	if *benchRecov {
+		cfg := experiments.Config{Scale: *scale, Seed: *seed}
+		res, err := experiments.WriteRecoveryBench(cfg, "BENCH_recovery.json")
+		if err != nil {
+			log.Fatalf("benchrecovery: %v", err)
+		}
+		fmt.Printf("recovery on %s scale %g: restored boot served %d/%d from snapshot (%.3fs -> %.3fs per request, %.0fx), %d warm seed(s) survived; checkpoint resume p=%d H=%.4g after %d moves vs cold %d moves (%.1f%% saved, warm_from=%v, never_worse=%v)\n",
+			res.Dataset, res.Scale, res.RestoredHits, res.SnapshotRequests,
+			res.ColdSolveSeconds, res.RestoredServeSeconds, res.SnapshotSpeedup, res.RestoredWarmSeeds,
+			res.ResumedP, res.ResumedH, res.ResumedMoves, res.ColdMoves,
+			res.MovesSavedPct, res.WarmFromCheckpoint, res.ResumedNeverWorse)
+		fmt.Println("wrote BENCH_recovery.json")
 		return
 	}
 	if *benchTabu {

@@ -160,15 +160,60 @@ func jobStatusCmd(base, id string) {
 
 // jobWatch streams the job's NDJSON event feed, rendering one line per
 // event, until the terminal event arrives.
+// jobWatch streams a job's event log until the terminal event, transparently
+// reconnecting dropped streams. Each attempt resumes from `?since=<last seq
+// + 1>`, so a server restart (or a load balancer cutting an idle stream)
+// costs a pause, not duplicated or lost events. Reconnects back off
+// exponentially from 250ms to 5s; after 8 consecutive attempts that deliver
+// nothing the watch gives up. A 4xx — the job is gone or the request is
+// malformed — is fatal immediately: retrying cannot fix it.
 func jobWatch(base, id string) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	const (
+		baseBackoff = 250 * time.Millisecond
+		maxBackoff  = 5 * time.Second
+		maxFailures = 8
+	)
+	since, failures := 0, 0
+	for {
+		terminal, progressed, err := streamJobEvents(base, id, &since)
+		if terminal {
+			return
+		}
+		if progressed {
+			failures = 0
+		} else {
+			failures++
+			if failures >= maxFailures {
+				log.Fatalf("watch: giving up after %d stalled reconnect attempts (last error: %v)", failures, err)
+			}
+		}
+		d := baseBackoff << failures
+		if d > maxBackoff {
+			d = maxBackoff
+		}
+		fmt.Fprintf(os.Stderr, "watch: stream dropped (%v); reconnecting in %s from seq %d\n", err, d, since)
+		time.Sleep(d)
+	}
+}
+
+// streamJobEvents runs one NDJSON streaming attempt, printing events and
+// advancing *since past each one. terminal reports that the job's final
+// event arrived (the watch is complete); progressed reports whether this
+// attempt delivered at least one event (resets the reconnect budget). It
+// exits the process on 4xx responses and unparseable events.
+func streamJobEvents(base, id string, since *int) (terminal, progressed bool, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?since=%d", base, id, *since))
 	if err != nil {
-		log.Fatal(err)
+		return false, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
-		log.Fatalf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		msg := strings.TrimSpace(string(body))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			log.Fatalf("%s: %s", resp.Status, msg)
+		}
+		return false, false, fmt.Errorf("%s: %s", resp.Status, msg)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
@@ -185,20 +230,25 @@ func jobWatch(base, id string) {
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			log.Fatalf("bad event %q: %v", sc.Text(), err)
 		}
+		*since = ev.Seq + 1
+		progressed = true
 		el := time.Duration(ev.ElapsedMs * float64(time.Millisecond)).Truncate(time.Millisecond)
 		switch ev.Type {
 		case "done":
 			fmt.Printf("%4d  %8s  %s: %s  p=%d H=%.4g\n", ev.Seq, el, ev.Type, ev.State, ev.P, ev.H)
-			return
+			return true, true, nil
 		case "incumbent":
 			fmt.Printf("%4d  %8s  %s  p=%d H=%.4g moves=%d\n", ev.Seq, el, ev.Type, ev.P, ev.H, ev.Moves)
 		default:
 			fmt.Printf("%4d  %8s  phase=%s\n", ev.Seq, el, ev.Phase)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatalf("stream: %v", err)
+	// The stream ended without a terminal event: the connection dropped (or
+	// the server restarted mid-job). The caller reconnects from *since.
+	if serr := sc.Err(); serr != nil {
+		return false, progressed, serr
 	}
+	return false, progressed, io.ErrUnexpectedEOF
 }
 
 func jobCancel(base, id string) {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestJobWatchReconnectsResumingSince: a stream that drops before the
+// terminal event is re-dialed with ?since= advanced past everything already
+// printed, and the watch completes once the resumed stream delivers the
+// terminal event. This is the client half of the server's crash-recovery
+// story: a watcher rides through an empserve restart.
+func TestJobWatchReconnectsResumingSince(t *testing.T) {
+	var mu sync.Mutex
+	var sinceSeen []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		sinceSeen = append(sinceSeen, r.URL.Query().Get("since"))
+		n := len(sinceSeen)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if n == 1 {
+			// Two events, then the connection dies with the job unfinished.
+			fmt.Fprintln(w, `{"seq":0,"type":"phase","phase":"construction"}`)
+			fmt.Fprintln(w, `{"seq":1,"type":"incumbent","p":3,"h":1.5,"moves":2}`)
+			return
+		}
+		fmt.Fprintln(w, `{"seq":2,"type":"done","state":"done","p":4,"h":1.25}`)
+	}))
+	defer srv.Close()
+
+	jobWatch(srv.URL, "j1") // must terminate via the resumed stream's done event
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sinceSeen) != 2 {
+		t.Fatalf("watch dialed %d times (%v), want 2", len(sinceSeen), sinceSeen)
+	}
+	if sinceSeen[0] != "0" || sinceSeen[1] != "2" {
+		t.Fatalf("since cursors = %v, want [0 2] (resume past the delivered events)", sinceSeen)
+	}
+}

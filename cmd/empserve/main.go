@@ -8,6 +8,8 @@
 //	         [-dataset-cache-mb 256] [-result-cache-mb 64]
 //	         [-flight-recorder-mb 8] [-flight-recorder-traces 64]
 //	         [-job-ttl 15m] [-job-results-mb 64] [-max-jobs 64]
+//	         [-state-dir /var/lib/empserve] [-snapshot-interval 1m]
+//	         [-checkpoint-interval 2s]
 //
 // Solves run on a bounded worker pool behind a FIFO queue; when the queue
 // is full or a queued solve exceeds -queue-wait the request is shed with
@@ -72,6 +74,17 @@
 // so it splits the cache fingerprint) and "cut_workers" (pool size,
 // result-neutral).
 //
+// With -state-dir set, the server keeps crash-safe state there (see
+// docs/ROBUSTNESS.md): an append-only job journal re-admits queued/running
+// jobs after a crash (even kill -9) under their original ids, running jobs
+// checkpoint their incumbent every -checkpoint-interval so resumed solves
+// warm-start instead of restarting, and the result cache + warm-seed index
+// snapshot every -snapshot-interval and on shutdown. /readyz answers 503
+// {"status":"recovering"} while boot recovery runs. Torn or corrupt state
+// files are truncated/skipped and counted in
+// emp_durable_corrupt_records_total — they never fail boot. The flags are
+// validated at startup (writable dir, positive intervals; exit 2 otherwise).
+//
 // With -debug-addr set, a second listener serves net/http/pprof under
 // /debug/pprof/ and the expvar JSON (including an "emp" metrics snapshot)
 // under /debug/vars. Keep it on a loopback or otherwise private address.
@@ -125,6 +138,9 @@ func main() {
 		jobTTL     = flag.Duration("job-ttl", jobs.DefaultTTL, "how long finished async jobs stay fetchable on /v1/jobs/{id}")
 		jobResMB   = flag.Int64("job-results-mb", jobs.DefaultRetainBytes>>20, "byte budget for results retained across finished async jobs, in MiB")
 		maxJobs    = flag.Int("max-jobs", jobs.DefaultMaxActive, "max queued+running async jobs; submits past it get 429 (0 = default)")
+		stateDir   = flag.String("state-dir", "", "directory for crash-safe state (job journal, solve checkpoints, cache snapshot); empty disables persistence")
+		snapEvery  = flag.Duration("snapshot-interval", server.DefaultSnapshotInterval, "how often the result-cache/warm-seed snapshot is written (requires -state-dir)")
+		ckptEvery  = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "min spacing between incumbent checkpoints of a running job (requires -state-dir)")
 	)
 	flag.Parse()
 	if err := validateFlags(*workers, *queueDep, *queueWait, *maxBody, *maxTimeout, *drainGrace); err != nil {
@@ -133,6 +149,11 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateJobFlags(*jobTTL, *jobResMB, *maxJobs); err != nil {
+		log.Print(err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateDurableFlags(*stateDir, *snapEvery, *ckptEvery); err != nil {
 		log.Print(err)
 		flag.Usage()
 		os.Exit(2)
@@ -167,6 +188,10 @@ func main() {
 		JobTTL:         *jobTTL,
 		JobRetainBytes: *jobResMB << 20,
 		MaxActiveJobs:  *maxJobs,
+
+		StateDir:           *stateDir,
+		SnapshotInterval:   *snapEvery,
+		CheckpointInterval: *ckptEvery,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
@@ -236,6 +261,11 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		// Final durable snapshot + journal close, after the drain so the
+		// snapshot carries everything the drained jobs produced.
+		if err := svc.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
 	}
 }
 
@@ -276,6 +306,33 @@ func validateJobFlags(ttl time.Duration, resMB int64, maxJobs int) error {
 	if maxJobs < 0 {
 		return fmt.Errorf("-max-jobs must be >= 0 (0 = default), got %d", maxJobs)
 	}
+	return nil
+}
+
+// validateDurableFlags vets the crash-safety configuration before the
+// listener binds. A state dir that cannot actually be written to would
+// silently disable persistence at the first journal append — probe it with a
+// real file instead, so the operator finds out at startup with exit 2.
+func validateDurableFlags(stateDir string, snapInterval, ckptInterval time.Duration) error {
+	if stateDir == "" {
+		return nil // persistence off; intervals are irrelevant
+	}
+	if snapInterval <= 0 {
+		return fmt.Errorf("-snapshot-interval must be positive, got %v", snapInterval)
+	}
+	if ckptInterval <= 0 {
+		return fmt.Errorf("-checkpoint-interval must be positive, got %v", ckptInterval)
+	}
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return fmt.Errorf("-state-dir %q is not usable: %v", stateDir, err)
+	}
+	probe, err := os.CreateTemp(stateDir, ".empserve-probe-*")
+	if err != nil {
+		return fmt.Errorf("-state-dir %q is not writable: %v", stateDir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	os.Remove(name)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -65,5 +67,51 @@ func TestValidateJobFlags(t *testing.T) {
 		if err == nil {
 			t.Errorf("%s: accepted, want an error (exit 2 at startup)", name)
 		}
+	}
+}
+
+// TestValidateDurableFlags pins the startup contract for the crash-safety
+// flags: without -state-dir everything passes (persistence off); with it,
+// intervals must be positive and the directory must actually accept writes —
+// probed with a real file, not just a stat.
+func TestValidateDurableFlags(t *testing.T) {
+	if err := validateDurableFlags("", 0, 0); err != nil {
+		t.Errorf("no state dir: intervals must be ignored, got %v", err)
+	}
+	dir := t.TempDir()
+	if err := validateDurableFlags(dir, server.DefaultSnapshotInterval, server.DefaultCheckpointInterval); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	// A fresh subdirectory is created on demand.
+	if err := validateDurableFlags(filepath.Join(dir, "new", "state"), time.Minute, time.Second); err != nil {
+		t.Errorf("fresh nested dir rejected: %v", err)
+	}
+	for name, err := range map[string]error{
+		"zero snapshot interval":       validateDurableFlags(dir, 0, time.Second),
+		"negative snapshot interval":   validateDurableFlags(dir, -time.Minute, time.Second),
+		"zero checkpoint interval":     validateDurableFlags(dir, time.Minute, 0),
+		"negative checkpoint interval": validateDurableFlags(dir, time.Minute, -time.Second),
+	} {
+		if err == nil {
+			t.Errorf("%s: accepted, want an error (exit 2 at startup)", name)
+		}
+	}
+	// An unwritable state dir must be caught before the listener binds.
+	if os.Getuid() != 0 { // root ignores mode bits; the probe would succeed
+		ro := filepath.Join(dir, "readonly")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if err := validateDurableFlags(ro, time.Minute, time.Second); err == nil {
+			t.Error("read-only state dir accepted, want an error (exit 2 at startup)")
+		}
+	}
+	// A state-dir path blocked by a regular file fails for everyone.
+	block := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(block, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateDurableFlags(filepath.Join(block, "state"), time.Minute, time.Second); err == nil {
+		t.Error("file-blocked state dir accepted, want an error (exit 2 at startup)")
 	}
 }

@@ -1,0 +1,278 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"emp/internal/fault"
+)
+
+// Record kinds. A "submit" record carries the full solve request body so a
+// recovered server can re-parse and re-admit the job; "state" records track
+// the lifecycle so replay knows which jobs were still pending at the crash.
+const (
+	RecordSubmit = "submit"
+	RecordState  = "state"
+)
+
+// Record is one journal entry. Fields are kind-dependent: submit records
+// carry Fingerprint/DatasetKey/Dataset/Body, state records carry State.
+type Record struct {
+	Kind  string `json:"kind"`
+	JobID string `json:"job_id"`
+	// State is the committed lifecycle state for RecordState records:
+	// "running", "done", "failed" or "canceled" ("queued" is implied by the
+	// submit record itself).
+	State string `json:"state,omitempty"`
+	// Fingerprint is the canonical request fingerprint, re-verified against
+	// the re-parsed body on recovery before any checkpoint is trusted.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// DatasetKey groups warm-start seeds; Dataset is the display name.
+	DatasetKey string `json:"dataset_key,omitempty"`
+	Dataset    string `json:"dataset,omitempty"`
+	// Body is the original solve request JSON for submit records.
+	Body   json.RawMessage `json:"body,omitempty"`
+	UnixMs int64           `json:"unix_ms,omitempty"`
+}
+
+// Replay is what Open found in an existing journal.
+type Replay struct {
+	Records []Record
+	// Corrupt counts records dropped during replay: a torn/corrupt tail
+	// (counted once) plus any frames whose JSON failed to decode.
+	Corrupt int
+	// Truncated is how many tail bytes were cut from the file.
+	Truncated int64
+}
+
+// Journal is the append-only job journal. Appends are serialized and fsynced
+// before returning: once Append returns nil, the record survives kill -9.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	met    Metrics
+	closed bool
+}
+
+// Open opens (creating if absent) the journal at path and replays it. A torn
+// or corrupt tail is truncated in place — counted in Replay.Corrupt and on
+// met.CorruptRecords — so a crash mid-append can never fail the next boot.
+// Only I/O errors (unreadable file, failed truncate) are returned.
+func Open(path string, met Metrics) (*Journal, Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Replay{}, fmt.Errorf("durable: opening journal %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, Replay{}, fmt.Errorf("durable: reading journal %s: %w", path, err)
+	}
+	frames, good, corrupt := readFrames(data)
+	var rep Replay
+	rep.Corrupt = corrupt
+	rep.Truncated = int64(len(data)) - good
+	for _, p := range frames {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			rep.Corrupt++
+			continue
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	if rep.Truncated > 0 {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, Replay{}, fmt.Errorf("durable: truncating torn journal tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, Replay{}, fmt.Errorf("durable: seeking journal %s: %w", path, err)
+	}
+	if rep.Corrupt > 0 {
+		met.CorruptRecords.Add(int64(rep.Corrupt))
+	}
+	return &Journal{f: f, path: path, met: met}, rep, nil
+}
+
+// Append writes one record and fsyncs. On a partial write (crash simulation
+// via the durable.journal.torn site, or a real short write) it rewinds the
+// file to the pre-append offset so the in-process journal never carries a
+// known-bad tail; an unrewindable failure is left for the next boot's
+// truncation to clean up.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	if rec.UnixMs == 0 {
+		rec.UnixMs = time.Now().UnixMilli()
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: marshaling journal record: %w", err)
+	}
+	frame := appendFrame(nil, payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("durable: journal %s is closed", j.path)
+	}
+	if err := fault.Inject(SiteJournalAppend); err != nil {
+		return fmt.Errorf("durable: appending to journal %s: %w", j.path, err)
+	}
+	start, err := j.f.Seek(0, 1)
+	if err != nil {
+		return fmt.Errorf("durable: appending to journal %s: %w", j.path, err)
+	}
+	if err := fault.Inject(SiteJournalTorn); err != nil {
+		// Simulate the crash the frame format exists for: half the frame
+		// lands on disk, then the write "fails". Deliberately no rewind —
+		// the torn tail stays for the next Open to truncate.
+		j.f.Write(frame[:len(frame)/2])
+		j.f.Sync()
+		return fmt.Errorf("durable: appending to journal %s: %w", j.path, err)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.rewindLocked(start)
+		return fmt.Errorf("durable: appending to journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.rewindLocked(start)
+		return fmt.Errorf("durable: syncing journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// rewindLocked tries to undo a failed append so later appends start framed.
+func (j *Journal) rewindLocked(start int64) {
+	if j.f.Truncate(start) == nil {
+		j.f.Seek(start, 0)
+	}
+}
+
+// Rewrite atomically replaces the journal's contents with recs — boot-time
+// compaction, dropping records of jobs that reached a terminal state so the
+// file stays proportional to live work, not lifetime traffic.
+func (j *Journal) Rewrite(recs []Record) error {
+	if j == nil {
+		return nil
+	}
+	var buf []byte
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("durable: marshaling journal record: %w", err)
+		}
+		buf = appendFrame(buf, payload)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("durable: journal %s is closed", j.path)
+	}
+	if err := writeFileAtomic(SiteJournalAppend, j.path, buf); err != nil {
+		return err
+	}
+	// The old fd still points at the replaced inode; reopen the new file.
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: reopening journal %s: %w", j.path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: seeking journal %s: %w", j.path, err)
+	}
+	j.f.Close()
+	j.f = f
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	j.f.Sync()
+	return j.f.Close()
+}
+
+// PendingJob is a journaled job that never reached a terminal state: the
+// recovery path re-parses Body and re-admits it under its original JobID.
+type PendingJob struct {
+	JobID       string
+	Fingerprint string
+	DatasetKey  string
+	Dataset     string
+	Body        json.RawMessage
+	// WasRunning reports whether the job had left the queue before the
+	// crash — the ones worth checking for an incumbent checkpoint.
+	WasRunning bool
+}
+
+// Pending folds replayed records into the set of jobs still owed work, in
+// submit order. Terminal states win regardless of record order (the journal
+// hook fires outside the store lock, so a done can land before its running).
+func Pending(recs []Record) []PendingJob {
+	type jobState struct {
+		idx      int
+		pending  PendingJob
+		terminal bool
+	}
+	byID := make(map[string]*jobState)
+	order := 0
+	for _, rec := range recs {
+		switch rec.Kind {
+		case RecordSubmit:
+			if _, ok := byID[rec.JobID]; ok {
+				continue
+			}
+			byID[rec.JobID] = &jobState{
+				idx: order,
+				pending: PendingJob{
+					JobID:       rec.JobID,
+					Fingerprint: rec.Fingerprint,
+					DatasetKey:  rec.DatasetKey,
+					Dataset:     rec.Dataset,
+					Body:        rec.Body,
+				},
+			}
+			order++
+		case RecordState:
+			js, ok := byID[rec.JobID]
+			if !ok {
+				continue
+			}
+			switch rec.State {
+			case "running":
+				js.pending.WasRunning = true
+			case "done", "failed", "canceled":
+				js.terminal = true
+			}
+		}
+	}
+	out := make([]PendingJob, 0, len(byID))
+	for _, js := range byID {
+		if !js.terminal && len(js.pending.Body) > 0 {
+			out = append(out, js.pending)
+		}
+	}
+	// Deterministic re-admission order: original submit order.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && byID[out[k].JobID].idx < byID[out[k-1].JobID].idx; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"emp/internal/durable"
+	"emp/internal/fault"
+	"emp/internal/obs"
+	"emp/internal/server"
+)
+
+// RecoveryBenchResult is the JSON artifact written by `empbench
+// -benchrecovery`: what the durable-state layer (docs/ROBUSTNESS.md) buys
+// across a restart. The snapshot leg compares a cold boot (every request
+// solved from scratch) against a restored boot serving the same requests
+// from the reloaded result cache; the checkpoint leg replays a crash image —
+// a journaled running job plus its last incumbent checkpoint — and measures
+// how many tabu moves the checkpoint-resumed solve needs versus solving the
+// same request cold, with the never-worse p/H guarantee checked.
+type RecoveryBenchResult struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+
+	// Snapshot leg: N distinct requests solved on boot A (cold), snapshotted
+	// on drain, then re-served on boot B from the restored cache.
+	SnapshotRequests     int     `json:"snapshot_requests"`
+	RestoredHits         int     `json:"restored_hits"`
+	RestoredHitRate      float64 `json:"restored_hit_rate"`
+	ColdSolveSeconds     float64 `json:"cold_solve_seconds"`     // mean per request, first boot
+	RestoredServeSeconds float64 `json:"restored_serve_seconds"` // mean per request, restored boot
+	SnapshotSpeedup      float64 `json:"snapshot_serve_speedup"` // cold / restored
+	RestoredWarmSeeds    int     `json:"restored_warm_seeds"`    // warm-seed index entries surviving the restart
+
+	// Checkpoint leg: the crash image's incumbent vs the resumed and cold
+	// solves of the same request.
+	CheckpointP        int     `json:"checkpoint_p"`
+	CheckpointH        float64 `json:"checkpoint_h"`
+	CheckpointMoves    int     `json:"checkpoint_moves"`
+	ColdP              int     `json:"cold_p"`
+	ColdH              float64 `json:"cold_h"`
+	ColdMoves          int     `json:"cold_moves"`
+	ResumedP           int     `json:"resumed_p"`
+	ResumedH           float64 `json:"resumed_h"`
+	ResumedMoves       int     `json:"resumed_moves"`
+	MovesSavedPct      float64 `json:"resume_moves_saved_pct"`
+	WarmFromCheckpoint bool    `json:"warm_from_checkpoint"`
+	ResumedNeverWorse  bool    `json:"resumed_never_worse"`
+}
+
+// recoveryAwaitReady polls until boot recovery finishes.
+func recoveryAwaitReady(sv *server.Service) error {
+	deadline := time.Now().Add(2 * time.Minute)
+	for sv.Recovering() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("recoverybench: boot recovery never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// recoverySolve times one sync solve through the handler.
+func recoverySolve(h http.Handler, body string) (float64, error) {
+	start := time.Now()
+	rec, err := jobsDo(h, http.MethodPost, "/v1/solve", body)
+	if err != nil {
+		return 0, err
+	}
+	if rec.status != http.StatusOK {
+		return 0, fmt.Errorf("recoverybench: solve status %d: %s", rec.status, rec.body.String())
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// recoveryWarmSeeds reads the warm-seed index size off /v1/debug/cache's
+// durable section.
+func recoveryWarmSeeds(h http.Handler) (int, error) {
+	rec, err := jobsDo(h, http.MethodGet, "/v1/debug/cache", "")
+	if err != nil {
+		return 0, err
+	}
+	if rec.status != http.StatusOK {
+		return 0, fmt.Errorf("recoverybench: debug cache status %d", rec.status)
+	}
+	var out struct {
+		Durable struct {
+			WarmSeeds int `json:"warm_seeds"`
+		} `json:"durable"`
+	}
+	if err := json.Unmarshal(rec.body.Bytes(), &out); err != nil {
+		return 0, err
+	}
+	return out.Durable.WarmSeeds, nil
+}
+
+// RecoveryBench measures the durable-state layer on in-process services
+// sharing real state directories.
+func RecoveryBench(cfg Config) (*RecoveryBenchResult, error) {
+	cfg = cfg.withDefaults()
+	out := &RecoveryBenchResult{Dataset: "2k", Scale: cfg.Scale, Seed: cfg.Seed}
+
+	// ---- Snapshot leg -----------------------------------------------------
+	floors := []int{25000, 26000, 27000}
+	out.SnapshotRequests = len(floors)
+	snapDir, err := os.MkdirTemp("", "emp-recoverybench-snap-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(snapDir)
+
+	svA := server.New(server.Config{Registry: obs.New(), StateDir: snapDir})
+	hA := svA.Handler()
+	if err := recoveryAwaitReady(svA); err != nil {
+		return nil, err
+	}
+	// One finished job donates a warm seed to the snapshot alongside the
+	// sync results.
+	if _, err := jobsRun(hA, jobsBody(cfg.Scale, cfg.Seed, floors[0])); err != nil {
+		return nil, err
+	}
+	var coldTotal float64
+	for _, f := range floors {
+		sec, err := recoverySolve(hA, jobsBody(cfg.Scale, cfg.Seed, f))
+		if err != nil {
+			return nil, err
+		}
+		coldTotal += sec
+	}
+	// floors[0] was pre-cached by the job above, so its sync "solve" was a
+	// hit; time the cold cost over the genuinely cold requests only.
+	out.ColdSolveSeconds = coldTotal / float64(len(floors))
+	if err := svA.Close(); err != nil { // drain snapshot
+		return nil, err
+	}
+
+	regB := obs.New()
+	svB := server.New(server.Config{Registry: regB, StateDir: snapDir})
+	hB := svB.Handler()
+	if err := recoveryAwaitReady(svB); err != nil {
+		return nil, err
+	}
+	hits0 := regB.Counter("emp_result_cache_hits_total", "").Value()
+	var restoredTotal float64
+	for _, f := range floors {
+		sec, err := recoverySolve(hB, jobsBody(cfg.Scale, cfg.Seed, f))
+		if err != nil {
+			return nil, err
+		}
+		restoredTotal += sec
+	}
+	out.RestoredHits = int(regB.Counter("emp_result_cache_hits_total", "").Value() - hits0)
+	out.RestoredHitRate = float64(out.RestoredHits) / float64(out.SnapshotRequests)
+	out.RestoredServeSeconds = restoredTotal / float64(len(floors))
+	if out.RestoredServeSeconds > 0 {
+		out.SnapshotSpeedup = out.ColdSolveSeconds / out.RestoredServeSeconds
+	}
+	out.RestoredWarmSeeds, err = recoveryWarmSeeds(hB)
+	if err != nil {
+		return nil, err
+	}
+	if err := svB.Close(); err != nil {
+		return nil, err
+	}
+
+	// ---- Checkpoint leg ---------------------------------------------------
+	// Cold control: the same request solved from scratch.
+	body := jobsBody(cfg.Scale, cfg.Seed, 24500)
+	coldH := server.NewHandler(server.Config{Registry: obs.New()})
+	cold, err := jobsRun(coldH, body)
+	if err != nil {
+		return nil, err
+	}
+	if cold.Result == nil {
+		return nil, fmt.Errorf("recoverybench: cold control missing result")
+	}
+	out.ColdP, out.ColdH, out.ColdMoves = cold.Result.P, cold.Result.HeteroAfter, cold.Result.TabuMoves
+
+	// Crash image: run the job on a durable server with per-epoch delays (so
+	// mid-search checkpoints are catchable), and copy the journal + newest
+	// checkpoint the moment one with tabu progress exists. The copied bytes
+	// are exactly what a kill -9 at that instant would have left on disk.
+	crashSrc, err := os.MkdirTemp("", "emp-recoverybench-crash-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(crashSrc)
+	svC := server.New(server.Config{
+		Registry:           obs.New(),
+		StateDir:           crashSrc,
+		CheckpointInterval: time.Millisecond,
+		SnapshotInterval:   -1,
+	})
+	hC := svC.Handler()
+	if err := recoveryAwaitReady(svC); err != nil {
+		return nil, err
+	}
+	fault.Enable(&fault.Plan{Rules: []fault.Rule{
+		{Site: "tabu.epoch", Kind: fault.KindDelay, Delay: time.Millisecond, Times: 1 << 30},
+	}})
+	defer fault.Enable(nil)
+	sub, err := jobsSubmit(hC, body)
+	if err != nil {
+		return nil, err
+	}
+	// Shadow the on-disk state while the job runs: every time the checkpoint
+	// deepens, copy (checkpoint, journal) into memory. The newest pair
+	// captured before the terminal transition is exactly what a kill -9 just
+	// before convergence would have left on disk — the deepest incumbent the
+	// durable layer can resume from.
+	type crashPair struct{ journal, ckpt []byte }
+	var pairs []crashPair // newest last; keep two in case the last capture raced the finish
+	srcCkpt := filepath.Join(crashSrc, "checkpoints")
+	lastMoves := -1
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		st, err := jobsDo(hC, http.MethodGet, "/v1/jobs/"+sub.ID, "")
+		if err != nil {
+			return nil, err
+		}
+		var view server.JobStatus
+		if err := json.Unmarshal(st.body.Bytes(), &view); err != nil {
+			return nil, err
+		}
+		if ck, ok := durable.ReadCheckpoint(srcCkpt, sub.ID, durable.Metrics{}); ok && ck.Moves > lastMoves {
+			// Checkpoint first, journal second: a checkpoint alongside a
+			// still-pending journal is exactly the crash invariant. Reads
+			// racing the terminal cleanup just skip this capture.
+			c, cerr := os.ReadFile(durable.CheckpointPath(srcCkpt, sub.ID))
+			j, jerr := os.ReadFile(filepath.Join(crashSrc, "jobs.journal"))
+			if cerr == nil && jerr == nil {
+				pairs = append(pairs, crashPair{journal: j, ckpt: c})
+				if len(pairs) > 2 {
+					pairs = pairs[1:]
+				}
+				lastMoves = ck.Moves
+			}
+		}
+		if view.State == "done" || view.State == "failed" || view.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("recoverybench: crash-image job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fault.Enable(nil)
+	svC.Close()
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("recoverybench: no mid-search checkpoint captured")
+	}
+
+	// Materialize the newest pair whose journal still carries the job as
+	// pending (a capture can race the final state append; the older pair is
+	// then the valid crash image).
+	crashDir, err := os.MkdirTemp("", "emp-recoverybench-resume-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(crashDir)
+	var ck durable.Checkpoint
+	valid := false
+	for i := len(pairs) - 1; i >= 0 && !valid; i-- {
+		if err := os.RemoveAll(crashDir); err != nil {
+			return nil, err
+		}
+		if err := os.MkdirAll(filepath.Join(crashDir, "checkpoints"), 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(crashDir, "jobs.journal"), pairs[i].journal, 0o600); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(durable.CheckpointPath(filepath.Join(crashDir, "checkpoints"), sub.ID), pairs[i].ckpt, 0o644); err != nil {
+			return nil, err
+		}
+		jr, replay, err := durable.Open(filepath.Join(crashDir, "jobs.journal"), durable.Metrics{})
+		if err != nil {
+			return nil, err
+		}
+		jr.Close()
+		var ok bool
+		ck, ok = durable.ReadCheckpoint(filepath.Join(crashDir, "checkpoints"), sub.ID, durable.Metrics{})
+		valid = ok && len(durable.Pending(replay.Records)) > 0
+	}
+	if !valid {
+		return nil, fmt.Errorf("recoverybench: no captured crash image has the job still pending")
+	}
+	out.CheckpointP, out.CheckpointH, out.CheckpointMoves = ck.P, ck.H, ck.Moves
+
+	svD := server.New(server.Config{Registry: obs.New(), StateDir: crashDir})
+	hD := svD.Handler()
+	if err := recoveryAwaitReady(svD); err != nil {
+		return nil, err
+	}
+	resumed, err := jobsAwait(hD, sub.ID)
+	if err != nil {
+		return nil, err
+	}
+	if resumed.Result == nil {
+		return nil, fmt.Errorf("recoverybench: resumed job missing result")
+	}
+	out.ResumedP, out.ResumedH, out.ResumedMoves = resumed.Result.P, resumed.Result.HeteroAfter, resumed.Result.TabuMoves
+	out.WarmFromCheckpoint = resumed.WarmFrom == "checkpoint"
+	out.ResumedNeverWorse = out.ResumedP > out.CheckpointP ||
+		(out.ResumedP == out.CheckpointP && out.ResumedH <= out.CheckpointH+1e-9)
+	if out.ColdMoves > 0 {
+		out.MovesSavedPct = 100 * (1 - float64(out.ResumedMoves)/float64(out.ColdMoves))
+	}
+	if err := svD.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteRecoveryBench runs RecoveryBench and writes the JSON artifact.
+func WriteRecoveryBench(cfg Config, path string) (*RecoveryBenchResult, error) {
+	res, err := RecoveryBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("recoverybench: %w", err)
+	}
+	return res, nil
+}

@@ -491,8 +491,12 @@ func solveWhole(ctx context.Context, ds *data.Dataset, ev *constraint.Evaluator,
 	res.Partition = best
 	res.HeteroBefore = best.Heterogeneity()
 	// The construction incumbent is the first curve point: everything the
-	// search does improves on it.
+	// search does improves on it. It is also the first checkpointable
+	// assignment — a crash during a long search resumes from at least here.
 	rec.Improve(best.NumRegions(), res.HeteroBefore, 0)
+	if rec.AssignWanted() && flight.AssignAllowed(ctx) {
+		rec.OfferAssign(best.NumRegions(), res.HeteroBefore, 0, best.DenseAssignment())
+	}
 	if consCtx != ctx && consCtx.Err() != nil && ctx.Err() == nil &&
 		!deadlineHit && res.Iterations < cfg.Iterations {
 		// The construction budget slice ran out with the overall deadline

@@ -151,6 +151,11 @@ func solveSharded(ctx context.Context, ds *data.Dataset, set constraint.Set, ev 
 // caller's, reserving budget for later phases); spanCtx carries the parent
 // phase span so per-shard spans nest correctly.
 func runSubSolves(subCtx, spanCtx context.Context, plan *shard.Plan, subArts []*prep.Artifact, set constraint.Set, cfg Config, pool *solvecache.Pool, noun string) (subs []*Result, failMsgs []string, runErr error) {
+	// Shard datasets renumber areas, so a shard-local assignment is
+	// meaningless as a whole-problem warm seed; suppress checkpoint offers
+	// for the entire sub-solve subtree (both contexts reach solver code).
+	subCtx = flight.WithoutAssign(subCtx)
+	spanCtx = flight.WithoutAssign(spanCtx)
 	subs = make([]*Result, len(plan.Shards))
 	failMsgs = make([]string, len(plan.Shards))
 	runErr = shard.Run(subCtx, len(plan.Shards), pool, func(i int) error {

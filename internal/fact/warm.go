@@ -94,18 +94,5 @@ func WarmAssignment(p *region.Partition) []int {
 	if p == nil {
 		return nil
 	}
-	idx := make(map[int]int)
-	for i, id := range p.RegionIDs() {
-		idx[id] = i
-	}
-	out := make([]int, p.Dataset().N())
-	for a := range out {
-		id := p.Assignment(a)
-		if id == region.Unassigned {
-			out[a] = -1
-		} else {
-			out[a] = idx[id]
-		}
-	}
-	return out
+	return p.DenseAssignment()
 }

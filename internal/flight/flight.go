@@ -70,17 +70,18 @@ const DefaultSamples = 256
 // overwrites its oldest samples on overflow (the recent tail is what the
 // anytime curve needs); Dropped reports how many were lost.
 type Recorder struct {
-	mu       sync.Mutex
-	t0       time.Time
-	buf      []sample
-	head     int // index of oldest sample once the ring is full
-	total    int // samples ever recorded
-	phase    Phase
-	lastP    int32
-	lastH    float64
-	doneNs   int64 // elapsed at Finish, 0 while in flight
-	finished bool
-	tap      func(Sample)
+	mu        sync.Mutex
+	t0        time.Time
+	buf       []sample
+	head      int // index of oldest sample once the ring is full
+	total     int // samples ever recorded
+	phase     Phase
+	lastP     int32
+	lastH     float64
+	doneNs    int64 // elapsed at Finish, 0 while in flight
+	finished  bool
+	tap       func(Sample)
+	assignTap func(Sample, []int)
 }
 
 // SetTap installs a callback invoked with every sample the recorder

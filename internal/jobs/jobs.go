@@ -86,6 +86,20 @@ type Config struct {
 	RetainBytes int64
 	// MaxActive bounds queued+running jobs; 0 means DefaultMaxActive.
 	MaxActive int
+	// SweepInterval is the background expiry sweeper's tick: TTL'd jobs and
+	// their retained results are reclaimed on the ticker, not only lazily on
+	// the next access, so the byte budget does not drift on an idle server.
+	// 0 means DefaultSweepInterval; negative disables the sweeper (tests
+	// that drive a fake clock sweep explicitly).
+	SweepInterval time.Duration
+	// OnTransition, when set, observes every committed lifecycle transition
+	// after the store releases its lock: StateRunning, StateDone,
+	// StateFailed, StateCanceled. Jobs born terminal (SubmitDone — a result
+	// cache hit, nothing to recover) are not reported. The durable layer
+	// journals transitions through this hook; because it fires outside the
+	// lock, observers must tolerate reordered deliveries (the journal's
+	// replay is terminal-state-wins for exactly this reason).
+	OnTransition func(j *Job, st State)
 	// Now is the clock, for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -101,15 +115,20 @@ const (
 	// control for the async path (the sync path's queue bound does not
 	// apply — jobs wait for workers as long as they live).
 	DefaultMaxActive = 64
+	// DefaultSweepInterval paces the background expiry sweeper: frequent
+	// enough that an idle server's retained bytes track the TTL, rare
+	// enough to be free.
+	DefaultSweepInterval = time.Minute
 )
 
 // Store is the bounded job registry. All exported methods are safe for
 // concurrent use.
 type Store struct {
-	ttl       time.Duration
-	retain    int64
-	maxActive int
-	now       func() time.Time
+	ttl          time.Duration
+	retain       int64
+	maxActive    int
+	now          func() time.Time
+	onTransition func(j *Job, st State) // immutable after NewStore
 
 	mu        sync.Mutex
 	byID      map[string]*Job
@@ -118,9 +137,14 @@ type Store struct {
 	done      []*Job          // finish order, oldest first
 	doneBytes int64
 	active    int
+
+	stopSweep chan struct{}
+	closeOnce sync.Once
 }
 
-// NewStore builds a store from the config.
+// NewStore builds a store from the config and starts its background expiry
+// sweeper (unless disabled); callers that own a store's lifecycle should
+// Close it.
 func NewStore(cfg Config) *Store {
 	if cfg.TTL <= 0 {
 		cfg.TTL = DefaultTTL
@@ -131,17 +155,64 @@ func NewStore(cfg Config) *Store {
 	if cfg.MaxActive <= 0 {
 		cfg.MaxActive = DefaultMaxActive
 	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = DefaultSweepInterval
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Store{
-		ttl:       cfg.TTL,
-		retain:    cfg.RetainBytes,
-		maxActive: cfg.MaxActive,
-		now:       cfg.Now,
-		byID:      make(map[string]*Job),
-		byFP:      make(map[string]*Job),
-		warmByKey: make(map[string]*Job),
+	s := &Store{
+		ttl:          cfg.TTL,
+		retain:       cfg.RetainBytes,
+		maxActive:    cfg.MaxActive,
+		now:          cfg.Now,
+		onTransition: cfg.OnTransition,
+		byID:         make(map[string]*Job),
+		byFP:         make(map[string]*Job),
+		warmByKey:    make(map[string]*Job),
+		stopSweep:    make(chan struct{}),
+	}
+	if cfg.SweepInterval > 0 {
+		go s.sweeper(cfg.SweepInterval)
+	}
+	return s
+}
+
+// sweeper reclaims TTL'd jobs on a ticker until Close.
+func (s *Store) sweeper(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep evicts finished jobs past their TTL now. The background sweeper
+// calls it on its ticker; it is exported for tests and for callers that want
+// a deterministic reclaim point.
+func (s *Store) Sweep() {
+	s.mu.Lock()
+	s.sweepLocked()
+	s.mu.Unlock()
+}
+
+// Close stops the background sweeper. The store stays usable — Close only
+// ends the goroutine, it does not seal the registry.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() { close(s.stopSweep) })
+}
+
+// notifyTransition fires the transition observer. Called after s.mu is
+// released: the hook does file I/O (journal appends) and must not nest under
+// the store lock.
+func (s *Store) notifyTransition(j *Job, st State) {
+	if s.onTransition != nil {
+		s.onTransition(j, st)
 	}
 }
 
@@ -332,12 +403,14 @@ func (s *Store) SetWarmFrom(j *Job, seedJobID string) {
 // queued (the runner must release its slot and walk away).
 func (s *Store) Start(j *Job) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j.state != StateQueued {
+		s.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.started = s.now()
+	s.mu.Unlock()
+	s.notifyTransition(j, StateRunning)
 	return true
 }
 
@@ -347,8 +420,8 @@ func (s *Store) Start(j *Job) bool {
 // (a cancel won the race).
 func (s *Store) Finish(j *Job, result any, cost int64, warmSeed []int, p int, h float64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j.state.Terminal() {
+		s.mu.Unlock()
 		return
 	}
 	moves := j.lastMoves()
@@ -359,6 +432,8 @@ func (s *Store) Finish(j *Job, result any, cost int64, warmSeed []int, p int, h 
 	j.setWarmSeedLocked(warmSeed)
 	j.closeEvents(StateDone, p, h, moves)
 	s.retireLocked(j)
+	s.mu.Unlock()
+	s.notifyTransition(j, StateDone)
 }
 
 // Fail transitions the job to failed with the error the status endpoint
@@ -366,8 +441,8 @@ func (s *Store) Finish(j *Job, result any, cost int64, warmSeed []int, p int, h 
 // mapping must not overwrite the canceled state).
 func (s *Store) Fail(j *Job, status int, msg string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if j.state.Terminal() {
+		s.mu.Unlock()
 		return
 	}
 	j.state = StateFailed
@@ -377,6 +452,8 @@ func (s *Store) Fail(j *Job, status int, msg string) {
 	p, h := j.lastIncumbent()
 	j.closeEvents(StateFailed, p, h, j.lastMoves())
 	s.retireLocked(j)
+	s.mu.Unlock()
+	s.notifyTransition(j, StateFailed)
 }
 
 // Cancel marks the job canceled and fires its cancellation hook. Returns the
@@ -406,6 +483,7 @@ func (s *Store) Cancel(id string) (State, bool) {
 	if cancel != nil {
 		cancel()
 	}
+	s.notifyTransition(j, StateCanceled)
 	return StateCanceled, true
 }
 

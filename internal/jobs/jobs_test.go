@@ -30,7 +30,12 @@ func newTestStore(t *testing.T, cfg Config) (*Store, *fakeClock) {
 	t.Helper()
 	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
 	cfg.Now = clk.Now
-	return NewStore(cfg), clk
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = -1 // fake clock: sweep explicitly, not on a ticker
+	}
+	s := NewStore(cfg)
+	t.Cleanup(s.Close)
+	return s, clk
 }
 
 func TestSubmitDedupeByFingerprint(t *testing.T) {

@@ -1,0 +1,130 @@
+package jobs
+
+import "errors"
+
+// Recovery-facing store APIs: re-admitting journaled jobs under their
+// original ids after a crash, and exporting/importing the warm-seed index
+// for cache snapshots. The durable layer (via internal/server) is the only
+// caller; normal traffic uses Submit/SubmitDone.
+
+// ErrJobExists rejects a recovered re-admission whose id or fingerprint is
+// already live — a client resubmitted the same request before recovery got
+// to the journaled copy. The recovery path journals the old id as canceled
+// and lets the live job carry the work.
+var ErrJobExists = errors.New("jobs: job already exists")
+
+// SubmitRecovered re-admits a journaled job under its original id, so
+// clients polling a pre-crash job id find their job again. Recovered jobs
+// bypass MaxActive — they were admitted before the crash, and re-admission
+// must not fail because restart traffic raced them in.
+func (s *Store) SubmitRecovered(id, fingerprint, datasetKey, dataset string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byID[id] != nil {
+		return nil, ErrJobExists
+	}
+	if _, ok := s.byFP[fingerprint]; ok {
+		return nil, ErrJobExists
+	}
+	j := &Job{
+		id:          id,
+		fingerprint: fingerprint,
+		datasetKey:  datasetKey,
+		dataset:     dataset,
+		created:     s.now(),
+		store:       s,
+		notify:      make(chan struct{}),
+	}
+	j.state = StateQueued
+	s.byID[id] = j
+	s.byFP[fingerprint] = j
+	s.active++
+	return j, nil
+}
+
+// WarmSeedExport is one entry of the warm-seed index in snapshot form.
+type WarmSeedExport struct {
+	DatasetKey  string
+	JobID       string
+	Fingerprint string
+	Seed        []int
+	P           int
+	H           float64
+}
+
+// WarmSeeds exports the warm-seed index for snapshotting: per dataset key,
+// the newest finished job's final assignment plus the (p, H) of its sealed
+// terminal event. Seeds are shared read-only with the store.
+func (s *Store) WarmSeeds() []WarmSeedExport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WarmSeedExport, 0, len(s.warmByKey))
+	for key, j := range s.warmByKey {
+		p, h := j.finalIncumbent()
+		out = append(out, WarmSeedExport{
+			DatasetKey:  key,
+			JobID:       j.id,
+			Fingerprint: j.fingerprint,
+			Seed:        j.warmSeed,
+			P:           p,
+			H:           h,
+		})
+	}
+	return out
+}
+
+// RestoreWarmSeed re-seeds the warm-start index from a snapshot entry: a
+// synthetic finished job under the original id (so warm_from attribution
+// stays stable across restarts) carrying only the seed. First writer wins —
+// a live job that already took the id or produced a fresher seed for the key
+// is never displaced.
+func (s *Store) RestoreWarmSeed(e WarmSeedExport) bool {
+	if len(e.Seed) == 0 || e.DatasetKey == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byID[e.JobID] != nil || s.warmByKey[e.DatasetKey] != nil {
+		return false
+	}
+	j := &Job{
+		id:          e.JobID,
+		fingerprint: e.Fingerprint,
+		datasetKey:  e.DatasetKey,
+		dataset:     e.DatasetKey,
+		created:     s.now(),
+		store:       s,
+		notify:      make(chan struct{}),
+	}
+	j.state = StateDone
+	j.started = j.created
+	j.finished = j.created
+	s.byID[j.id] = j
+	j.setWarmSeedLocked(e.Seed)
+	j.closeEvents(StateDone, e.P, e.H, 0)
+	// Straight to the finished FIFO: it was never active.
+	j.cancel = nil
+	s.done = append(s.done, j)
+	s.doneBytes += j.retainedCost()
+	for len(s.done) > 0 && s.doneBytes > s.retain {
+		s.evictLocked(s.done[0])
+	}
+	return true
+}
+
+// finalIncumbent returns the (p, H) of the sealed terminal event, falling
+// back to the running incumbent for jobs that are not terminal. Caller may
+// hold s.mu; only evMu is taken.
+func (j *Job) finalIncumbent() (int, float64) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Type == "done" {
+			return j.events[i].P, j.events[i].H
+		}
+	}
+	return j.lastP, j.lastH
+}
+
+// DatasetKey returns the warm-start grouping key the job was submitted under.
+func (j *Job) DatasetKey() string { return j.datasetKey }

@@ -204,6 +204,30 @@ func (p *Partition) RegionIDs() []int {
 	return ids
 }
 
+// DenseAssignment returns the per-area assignment with region ids densified
+// to 0..p-1 in ascending-id order and -1 for unassigned areas — the shape
+// warm starts and checkpoints use, independent of the sparse ids this
+// partition happened to issue.
+func (p *Partition) DenseAssignment() []int {
+	idx := make(map[int]int, p.numRegions)
+	n := 0
+	for id, r := range p.regs {
+		if r != nil {
+			idx[id] = n
+			n++
+		}
+	}
+	out := make([]int, len(p.assign))
+	for a, id := range p.assign {
+		if id == Unassigned {
+			out[a] = -1
+		} else {
+			out[a] = idx[id]
+		}
+	}
+	return out
+}
+
 // UnassignedAreas returns the areas not assigned to any region, ascending.
 func (p *Partition) UnassignedAreas() []int {
 	var out []int

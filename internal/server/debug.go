@@ -59,9 +59,22 @@ func (s *service) handleDebugCache(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; use GET", r.Method), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"dataset_cache":   s.dsCache.Stats(),
 		"result_cache":    s.resCache.Stats(),
 		"flight_recorder": s.fstore.StoreStats(),
-	})
+		"jobs":            s.jobs.StoreStats(),
+	}
+	if s.stateDir != "" {
+		out["durable"] = map[string]any{
+			"state_dir":           s.stateDir,
+			"recovering":          s.recovering.Load(),
+			"warm_seeds":          len(s.jobs.WarmSeeds()),
+			"corrupt_records":     s.durMet.CorruptRecords.Value(),
+			"checkpoints_written": s.durMet.CheckpointsWritten.Value(),
+			"snapshots_saved":     s.durMet.SnapshotsSaved.Value(),
+			"recovered_jobs":      s.durMet.RecoveredJobs.Value(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -136,6 +136,9 @@ func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs.SetWarmFrom(j, fromID)
 		s.jobsWarm.Inc()
 	}
+	// Journal the admission before acknowledging it: a crash after this point
+	// re-admits the job on the next boot under the same id.
+	s.journalSubmit(j, req)
 	s.jobsSubmitted.Inc()
 	s.jobsActive.Set(int64(s.jobs.Active()))
 	s.jobsWG.Add(1)
@@ -166,6 +169,14 @@ func (s *service) runJob(j *jobs.Job, req *SolveRequest, set constraint.Set, cfg
 	// incumbent improvement the solver records lands in the job's event log,
 	// so the SSE stream and the debug curve are one and the same data.
 	rec.SetTap(j.AppendSample)
+	// With a state dir, improvements also feed the job's incumbent checkpoint:
+	// the recorder hands the solver's current assignment to the checkpointer,
+	// which throttles and persists it so a crash resumes from near the front.
+	if ck := s.newCheckpointer(j, fp); ck != nil {
+		rec.SetAssignTap(func(sm flight.Sample, assign []int) {
+			ck.Offer(sm.P, sm.H, sm.Moves, assign)
+		})
+	}
 	s.jobs.SetRecorder(j, rec)
 	ctx = flight.NewContext(ctx, rec)
 	// Unlike the sync path, a queued job is not shed on queue pressure: it

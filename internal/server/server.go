@@ -8,6 +8,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -22,6 +23,7 @@ import (
 
 	"emp/internal/census"
 	"emp/internal/constraint"
+	"emp/internal/durable"
 	"emp/internal/fact"
 	"emp/internal/flight"
 	"emp/internal/jobs"
@@ -81,6 +83,20 @@ type Config struct {
 	// MaxActiveJobs bounds queued+running async jobs (submits past it get
 	// 429); 0 means jobs.DefaultMaxActive.
 	MaxActiveJobs int
+	// StateDir enables the durable layer: a crash-safe job journal, periodic
+	// incumbent checkpoints for running jobs, and result-cache/warm-seed
+	// snapshots, all under this directory and recovered on the next boot
+	// (see docs/ROBUSTNESS.md "Durability & crash recovery"). Empty disables
+	// persistence entirely — the pre-durability in-memory behavior.
+	StateDir string
+	// SnapshotInterval paces best-effort periodic cache snapshots (a final
+	// snapshot is always written on Close); 0 means DefaultSnapshotInterval,
+	// negative disables periodic snapshots. Ignored without StateDir.
+	SnapshotInterval time.Duration
+	// CheckpointInterval is the minimum time between incumbent checkpoint
+	// writes per running job; 0 means DefaultCheckpointInterval. Ignored
+	// without StateDir.
+	CheckpointInterval time.Duration
 }
 
 // DefaultMaxBodyBytes is the POST /solve body limit when Config.MaxBodyBytes
@@ -105,6 +121,15 @@ const (
 	DefaultFlightRecorderBytes = 8 << 20
 	// DefaultFlightRecorderTraces caps retained finished solves.
 	DefaultFlightRecorderTraces = 64
+	// DefaultSnapshotInterval paces periodic cache snapshots: frequent
+	// enough that a crash loses at most a minute of cached results, rare
+	// enough that the serialize-and-fsync cost is noise.
+	DefaultSnapshotInterval = time.Minute
+	// DefaultCheckpointInterval throttles per-job incumbent checkpoints.
+	// Improvements arrive in bursts at search start; a couple of seconds
+	// between writes keeps checkpoint I/O invisible next to solve compute
+	// while a killed job loses only seconds of progress.
+	DefaultCheckpointInterval = 2 * time.Second
 )
 
 // service carries the handler state.
@@ -153,6 +178,17 @@ type service struct {
 	jobEventsSent  *obs.Counter
 	jobWatchers    *obs.Gauge
 	deprecatedHits func(path string) // bumps emp_deprecated_requests_total{path}
+
+	// Durable state subsystem (Config.StateDir): nil journal means
+	// persistence is disabled and every hook below is a no-op.
+	stateDir     string
+	journal      *durable.Journal
+	durMet       durable.Metrics
+	ckptInterval time.Duration
+	snapInterval time.Duration
+	recovering   atomic.Bool   // /readyz answers 503 "recovering" while set
+	stopSnap     chan struct{} // stops the periodic snapshot goroutine
+	closeOnce    sync.Once
 }
 
 // SolveRequest is the POST /solve body.
@@ -301,6 +337,16 @@ func (sv *Service) DrainJobs(ctx context.Context) bool {
 	}
 }
 
+// Recovering reports whether boot recovery is still loading durable state.
+func (sv *Service) Recovering() bool { return sv.s.recovering.Load() }
+
+// Close flushes and releases the service's durable state: a final cache
+// snapshot (the on-drain snapshot the recovery contract promises), the job
+// journal, and the background snapshot/sweeper goroutines. Call it after
+// DrainJobs during shutdown; without a StateDir it only stops goroutines.
+// Safe to call more than once.
+func (sv *Service) Close() error { return sv.s.closeDurable() }
+
 // NewHandler builds the service's HTTP handler: the API routes wrapped in
 // request-id, access-log and metrics middleware. Callers that need the
 // runtime controls (readiness draining during shutdown) use New instead.
@@ -362,9 +408,10 @@ func New(cfg Config) *Service {
 	s.shardPool = solvecache.NewPool(s.sched.Workers())
 	s.fstore = flight.NewStore(cfg.FlightRecorderBytes, cfg.FlightRecorderTraces)
 	s.jobs = jobs.NewStore(jobs.Config{
-		TTL:         cfg.JobTTL,
-		RetainBytes: cfg.JobRetainBytes,
-		MaxActive:   cfg.MaxActiveJobs,
+		TTL:          cfg.JobTTL,
+		RetainBytes:  cfg.JobRetainBytes,
+		MaxActive:    cfg.MaxActiveJobs,
+		OnTransition: s.onJobTransition,
 	})
 	s.jobsSubmitted = reg.Counter("emp_jobs_submitted_total", "Async jobs accepted by POST /v1/jobs (including done-on-arrival cache hits).")
 	s.jobsDeduped = reg.Counter("emp_jobs_deduped_total", "Async submits attached to an already-active job with the same fingerprint.")
@@ -423,6 +470,10 @@ func New(cfg Config) *Service {
 	// Catch-all: unknown paths get the JSON envelope, not the mux's
 	// plain-text 404 — the envelope is exhaustive across the surface.
 	mux.HandleFunc("/", s.handleNotFound)
+	// Durable state last: the journal opens (and a torn tail truncates)
+	// synchronously, then recovery — snapshot restore and job re-admission —
+	// proceeds in the background behind the `recovering` readiness state.
+	s.initDurable(cfg)
 	// Request-id first so the instrument layer (access log) sees the id.
 	return &Service{s: s, handler: withRequestID(s.instrument(mux))}
 }
@@ -489,6 +540,12 @@ func (s *service) handleReady(w http.ResponseWriter, r *http.Request) {
 			body["active_jobs"] = strconv.Itoa(n)
 		}
 		writeJSON(w, http.StatusServiceUnavailable, body)
+	case s.recovering.Load():
+		// Boot recovery (journal replay, snapshot restore, job re-admission)
+		// is still running: the instance serves requests but stays out of
+		// rotation until its recovered state is fully loaded — routing cold
+		// traffic at it would just miss the cache it is about to restore.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
 	case s.sched.Saturated():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
 	default:
@@ -523,9 +580,8 @@ func (s *service) handleDatasets(w http.ResponseWriter, r *http.Request) {
 // config and attaches the service-wide shard pool. On any error it writes the
 // enveloped response itself and reports ok=false.
 func (s *service) decodeSolveRequest(w http.ResponseWriter, r *http.Request) (req *SolveRequest, set constraint.Set, cfg fact.Config, ok bool) {
-	req = new(SolveRequest)
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err := dec.Decode(req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.writeError(w, r, http.StatusRequestEntityTooLarge,
@@ -535,27 +591,40 @@ func (s *service) decodeSolveRequest(w http.ResponseWriter, r *http.Request) (re
 		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err), nil)
 		return nil, nil, cfg, false
 	}
+	req, set, cfg, errMsg := s.parseSolveRequest(body)
+	if errMsg != "" {
+		s.writeError(w, r, http.StatusBadRequest, errMsg, nil)
+		return nil, nil, cfg, false
+	}
+	return req, set, cfg, true
+}
+
+// parseSolveRequest is decodeSolveRequest minus the HTTP: it parses and
+// validates a solve submission body and returns a non-empty errMsg (the 400
+// message) on rejection. The durable recovery path re-admits journaled jobs
+// through it, so a journaled body goes through exactly the validation its
+// original submit did.
+func (s *service) parseSolveRequest(body []byte) (req *SolveRequest, set constraint.Set, cfg fact.Config, errMsg string) {
+	req = new(SolveRequest)
+	if err := json.NewDecoder(bytes.NewReader(body)).Decode(req); err != nil {
+		return nil, nil, cfg, fmt.Sprintf("bad request body: %v", err)
+	}
 	switch {
 	case req.Dataset != nil && req.Named != "":
-		s.writeError(w, r, http.StatusBadRequest, "dataset and named are mutually exclusive", nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg, "dataset and named are mutually exclusive"
 	case req.Dataset == nil && req.Named == "":
-		s.writeError(w, r, http.StatusBadRequest, "one of dataset or named is required", nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg, "one of dataset or named is required"
 	}
 	// Scale semantics: 0 means "unset, use the full dataset"; anything else
 	// must be a genuine shrink factor. Previously scale >= 1 fell through
 	// silently to the full dataset, so a client asking for scale 2 got a
 	// differently-sized answer than it thought it requested.
 	if req.Scale != 0 && (req.Scale <= 0 || req.Scale >= 1) {
-		s.writeError(w, r, http.StatusBadRequest,
-			fmt.Sprintf("scale must be in (0,1) exclusive, got %g; omit it (or send 0) for the full dataset", req.Scale), nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg,
+			fmt.Sprintf("scale must be in (0,1) exclusive, got %g; omit it (or send 0) for the full dataset", req.Scale)
 	}
 	if req.TimeoutMillis < 0 {
-		s.writeError(w, r, http.StatusBadRequest,
-			fmt.Sprintf("timeout_ms must be non-negative, got %d", req.TimeoutMillis), nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg, fmt.Sprintf("timeout_ms must be non-negative, got %d", req.TimeoutMillis)
 	}
 	// Clamp before fingerprinting: the effective deadline shapes the result
 	// (a degraded answer under a tight budget must not be served to a
@@ -565,26 +634,22 @@ func (s *service) decodeSolveRequest(w http.ResponseWriter, r *http.Request) (re
 	// (0, the max, anything above it) share one cache entry.
 	req.TimeoutMillis = clampTimeoutMillis(req.TimeoutMillis, s.maxTimeout)
 	req.Options.Seed = normalizeSeed(req.Options.Seed)
-	var err error
-	set, err = constraint.ParseSet(req.Constraints)
+	set, err := constraint.ParseSet(req.Constraints)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg, err.Error()
 	}
 	if len(set) == 0 {
-		s.writeError(w, r, http.StatusBadRequest, "no constraints given", nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg, "no constraints given"
 	}
 	cfg, err = req.Options.Config()
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error(), nil)
-		return nil, nil, cfg, false
+		return nil, nil, cfg, err.Error()
 	}
 	// Sub-solve fan-out of sharded solves draws from the service-wide pool
 	// so the aggregate parallelism respects one worker budget no matter how
 	// many sharded solves run concurrently.
 	cfg.ShardPool = s.shardPool
-	return req, set, cfg, true
+	return req, set, cfg, ""
 }
 
 func (s *service) handleSolve(w http.ResponseWriter, r *http.Request) {

@@ -161,6 +161,31 @@ func (c *LRU) Stats() LRUStats {
 	return st
 }
 
+// Entry is one exported cache entry, for snapshotting.
+type Entry struct {
+	Key  string
+	Val  any
+	Cost int64
+}
+
+// Entries snapshots the cache contents in cold-to-hot order, so replaying
+// them through Add in order reproduces both the contents and the recency
+// ranking. Values are shared with the cache; snapshot writers serialize them
+// without mutation.
+func (c *LRU) Entries() []Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*lruEntry)
+		out = append(out, Entry{Key: e.key, Val: e.val, Cost: e.cost})
+	}
+	return out
+}
+
 // Len returns the number of cached entries.
 func (c *LRU) Len() int {
 	if c == nil {

@@ -49,6 +49,42 @@ func TestLRUEvictionOrder(t *testing.T) {
 	}
 }
 
+func TestLRUEntriesColdToHot(t *testing.T) {
+	c := NewLRU(100)
+	c.Add("a", 1, 4)
+	c.Add("b", 2, 6)
+	c.Add("c", 3, 8)
+	c.Get("a") // a becomes hottest: order must now be b, c, a
+	got := c.Entries()
+	if len(got) != 3 {
+		t.Fatalf("entries = %d, want 3", len(got))
+	}
+	wantKeys := []string{"b", "c", "a"}
+	for i, e := range got {
+		if e.Key != wantKeys[i] {
+			t.Fatalf("order = %v, want %v", got, wantKeys)
+		}
+	}
+	if got[0].Val.(int) != 2 || got[0].Cost != 6 {
+		t.Fatalf("entry b = %+v", got[0])
+	}
+	// Replaying in order into a fresh cache reproduces the recency ranking:
+	// a small bound evicts the same cold entry both times.
+	c2 := NewLRU(14)
+	for _, e := range got {
+		c2.Add(e.Key, e.Val, e.Cost)
+	}
+	if _, ok := c2.Get("b"); ok {
+		t.Error("replayed cache should have evicted cold b")
+	}
+	if _, ok := c2.Get("a"); !ok {
+		t.Error("replayed cache lost hot a")
+	}
+	if NewLRU(0).Entries() != nil {
+		t.Error("disabled cache should export nil")
+	}
+}
+
 func TestLRUReplaceAndOversize(t *testing.T) {
 	c := NewLRU(10)
 	c.Add("a", 1, 4)

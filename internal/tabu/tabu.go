@@ -232,6 +232,12 @@ func Improve(p *region.Partition, cfg Config) Stats {
 		return stats
 	}
 	rec := flight.FromContext(cfg.Ctx)
+	// Decided once up front: whether incumbent assignments should be
+	// snapshotted for the checkpoint tap. The check is hoisted out of the
+	// move loop so the steady state stays allocation-free when no tap is
+	// installed (shard sub-solves additionally suppress offers by context —
+	// their renumbered assignments are meaningless as whole-problem seeds).
+	offerAssign := rec.AssignWanted() && flight.AssignAllowed(cfg.Ctx)
 	obj := cfg.Objective
 	if obj == nil {
 		obj = Heterogeneity{}
@@ -280,8 +286,14 @@ func Improve(p *region.Partition, cfg Config) Stats {
 			noImprove = 0
 			undo = undo[:0] // commit: current state is the new best
 			// New incumbent: one flight-recorder sample (H is the objective
-			// score — exact heterogeneity under the default objective).
+			// score — exact heterogeneity under the default objective). The
+			// partition sits exactly at the new best here (undo just
+			// cleared), so this is also the one safe point to snapshot the
+			// assignment for checkpointing.
 			rec.Improve(p.NumRegions(), best, stats.Moves)
+			if offerAssign {
+				rec.OfferAssign(p.NumRegions(), best, stats.Moves, p.DenseAssignment())
+			}
 		} else {
 			noImprove++
 		}
